@@ -1,0 +1,123 @@
+//! E1: per-evaluation cost of guardrail monitors (property P5's premise:
+//! monitoring must be cheap enough to be always-on).
+//!
+//! Measures the wall-clock cost of one TIMER evaluation, one FUNCTION
+//! delivery, an unsubscribed tracepoint firing (the "nop" fast path), and
+//! how cost scales with the number of installed monitors sharing a hook.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use guardrails::monitor::MonitorEngine;
+use simkernel::Nanos;
+use std::hint::black_box;
+
+const LISTING_2: &str = r#"
+guardrail low-false-submit {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(false_submit_rate) <= 0.05 },
+    action: { SAVE(ml_enabled, false) }
+}
+"#;
+
+fn timer_evaluation(c: &mut Criterion) {
+    let mut engine = MonitorEngine::new();
+    engine.install_str(LISTING_2).unwrap();
+    engine.store().save("false_submit_rate", 0.01);
+    let mut now = Nanos::ZERO;
+    c.bench_function("timer_tick_healthy_rule", |b| {
+        b.iter(|| {
+            now += Nanos::from_secs(1);
+            engine.advance_to(black_box(now));
+        })
+    });
+}
+
+fn timer_evaluation_violating(c: &mut Criterion) {
+    let mut engine = MonitorEngine::new();
+    engine.install_str(LISTING_2).unwrap();
+    engine.store().save("false_submit_rate", 0.5);
+    let mut now = Nanos::ZERO;
+    c.bench_function("timer_tick_violation_plus_action", |b| {
+        b.iter(|| {
+            now += Nanos::from_secs(1);
+            engine.advance_to(black_box(now));
+        })
+    });
+}
+
+fn function_trigger(c: &mut Criterion) {
+    let mut engine = MonitorEngine::new();
+    engine
+        .install_str(
+            "guardrail bounds { trigger: { FUNCTION(decide) }, rule: { ARG(0) >= 0 && ARG(0) < 4096 }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+    let mut now = Nanos::ZERO;
+    c.bench_function("function_trigger_evaluation", |b| {
+        b.iter(|| {
+            now += Nanos::from_micros(1);
+            engine.on_function(black_box("decide"), now, black_box(&[512.0]));
+        })
+    });
+    c.bench_function("function_trigger_unsubscribed_hook", |b| {
+        b.iter(|| {
+            now += Nanos::from_micros(1);
+            engine.on_function(black_box("unrelated"), now, black_box(&[512.0]));
+        })
+    });
+}
+
+fn scaling_with_monitor_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitors_sharing_one_hook");
+    for count in [1usize, 4, 16] {
+        let mut engine = MonitorEngine::new();
+        for i in 0..count {
+            engine
+                .install_str(&format!(
+                    "guardrail g{i} {{ trigger: {{ FUNCTION(hook) }}, rule: {{ ARG(0) < {} }}, action: {{ REPORT(m) }} }}",
+                    1e9 + i as f64
+                ))
+                .unwrap();
+        }
+        let mut now = Nanos::ZERO;
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, _| {
+            b.iter(|| {
+                now += Nanos::from_micros(1);
+                engine.on_function(black_box("hook"), now, black_box(&[1.0]));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn aggregate_rule_cost(c: &mut Criterion) {
+    // Windowed aggregates are the most expensive rule construct; measure a
+    // realistic P4 rule over a populated series.
+    let mut engine = MonitorEngine::new();
+    engine
+        .install_str(
+            "guardrail q { trigger: { TIMER(0, 1ms) }, rule: { AVG(lat, 100ms) < 500 && QUANTILE(lat, 0.99, 100ms) < 2000 }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+    let store = engine.store();
+    for i in 0..10_000u64 {
+        store.record("lat", Nanos::from_micros(i * 10), (i % 700) as f64);
+    }
+    let mut now = Nanos::from_millis(100);
+    c.bench_function("windowed_aggregate_rule", |b| {
+        b.iter(|| {
+            now += Nanos::from_millis(1);
+            store.record("lat", now, 300.0);
+            engine.advance_to(black_box(now));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    timer_evaluation,
+    timer_evaluation_violating,
+    function_trigger,
+    scaling_with_monitor_count,
+    aggregate_rule_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E8: incremental deployment (§3.3) — guardrails added one at a time to a
+//! live engine: coverage (violations caught) vs monitoring overhead.
+
+use gr_bench::write_results;
+use guardrails::monitor::MonitorEngine;
+use simkernel::{DetRng, Nanos};
+
+/// Six guardrails over six independent metrics, deployed cumulatively.
+fn guardrail_spec(i: usize) -> String {
+    format!(
+        "guardrail g{i} {{ trigger: {{ TIMER(0, 10ms) }}, rule: {{ LOAD(metric{i}) <= 100 }}, action: {{ RECORD(viol{i}, 1) }} }}"
+    )
+}
+
+fn main() {
+    println!("=== E8: incremental guardrail deployment (§3.3) ===\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>18} {:>16}",
+        "guardrails", "evaluations", "violations", "modeled overhead", "per-second cost"
+    );
+    let mut csv = String::from("guardrails,evaluations,violations,modeled_ns,overhead_fraction\n");
+
+    for count in 1..=6usize {
+        let mut engine = MonitorEngine::new();
+        for i in 0..count {
+            engine.install_str(&guardrail_spec(i)).unwrap();
+        }
+        let store = engine.store();
+        let mut rng = DetRng::seed(99);
+        // Each metric independently misbehaves ~10% of the time.
+        let horizon = Nanos::from_secs(10);
+        let mut t = Nanos::ZERO;
+        while t < horizon {
+            t += Nanos::from_millis(10);
+            for i in 0..6 {
+                let value = if rng.chance(0.1) { 150.0 } else { 50.0 };
+                store.save(&format!("metric{i}"), value);
+            }
+            engine.advance_to(t);
+        }
+        let stats = engine.stats();
+        let overhead = engine.total_modeled_overhead();
+        let fraction = overhead.as_nanos() as f64 / horizon.as_nanos() as f64;
+        println!(
+            "{count:<12} {:>12} {:>12} {:>18} {:>15.6}%",
+            stats.evaluations,
+            stats.violations,
+            overhead.to_string(),
+            fraction * 100.0
+        );
+        csv.push_str(&format!(
+            "{count},{},{},{},{fraction:.9}\n",
+            stats.evaluations,
+            stats.violations,
+            overhead.as_nanos()
+        ));
+    }
+
+    let path = write_results("exp_incremental.csv", &csv);
+    println!(
+        "\nreading: coverage (violations caught) grows with each added guardrail while\n\
+         the always-on monitoring cost stays a vanishing fraction of system time —\n\
+         the paper's incremental-deployment claim."
+    );
+    println!("written to {}", path.display());
+}

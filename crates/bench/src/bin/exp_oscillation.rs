@@ -1,0 +1,68 @@
+//! E6: the feedback-loop hazard from §6 — two guardrails whose corrective
+//! actions fight over one knob oscillate the system; cooldown and N-of-M
+//! hysteresis damp the loop. Sweeps the cooldown period.
+
+use gr_bench::write_results;
+use guardrails::monitor::{Hysteresis, MonitorEngine};
+use simkernel::Nanos;
+
+const ANTAGONISTS: &str = r#"
+guardrail push-up {
+    trigger: { TIMER(0, 10ms) },
+    rule: { LOAD(knob) >= 12 },
+    action: { SAVE(knob, LOAD(knob) + 10) RECORD(knob_series, LOAD(knob)) }
+}
+guardrail push-down {
+    trigger: { TIMER(5ms, 10ms) },
+    rule: { LOAD(knob) <= 8 },
+    action: { SAVE(knob, LOAD(knob) - 10) RECORD(knob_series, LOAD(knob)) }
+}
+"#;
+
+fn run(hysteresis: Option<Hysteresis>) -> (u64, u64) {
+    let mut engine = MonitorEngine::new();
+    engine.install_str(ANTAGONISTS).unwrap();
+    if let Some(h) = hysteresis {
+        engine.set_hysteresis("push-up", h).unwrap();
+        engine.set_hysteresis("push-down", h).unwrap();
+    }
+    engine.store().save("knob", 0.0);
+    engine.advance_to(Nanos::from_secs(10));
+    let stats = engine.stats();
+    (stats.violations, stats.trips)
+}
+
+fn main() {
+    println!("=== E6: antagonistic guardrails and hysteresis (§6) ===\n");
+    println!("the two guardrails demand knob >= 12 and knob <= 8: no stable point exists.\n");
+    println!("{:<28} {:>10} {:>14}", "configuration", "violations", "actions fired");
+    let mut csv = String::from("config,violations,actions_fired\n");
+
+    let (v, t) = run(None);
+    println!("{:<28} {v:>10} {t:>14}", "no hysteresis");
+    csv.push_str(&format!("none,{v},{t}\n"));
+
+    for &cooldown_ms in &[50u64, 200, 1_000, 5_000] {
+        let (v, t) = run(Some(Hysteresis::cooldown(Nanos::from_millis(cooldown_ms))));
+        let label = format!("cooldown {cooldown_ms}ms");
+        println!("{label:<28} {v:>10} {t:>14}");
+        csv.push_str(&format!("cooldown_{cooldown_ms}ms,{v},{t}\n"));
+    }
+    for &(n, m) in &[(3u32, 5u32), (5, 5)] {
+        let (v, t) = run(Some(Hysteresis::n_of_m(n, m)));
+        let label = format!("debounce {n}-of-{m}");
+        println!("{label:<28} {v:>10} {t:>14}");
+        csv.push_str(&format!("n{n}of{m},{v},{t}\n"));
+    }
+    let combined = Hysteresis::n_of_m(3, 5).with_cooldown(Nanos::from_secs(1));
+    let (v, t) = run(Some(combined));
+    println!("{:<28} {v:>10} {t:>14}", "3-of-5 + 1s cooldown");
+    csv.push_str(&format!("combined,{v},{t}\n"));
+
+    let path = write_results("exp_oscillation.csv", &csv);
+    println!(
+        "\nreading: violations keep being *detected* either way (the conflict is real),\n\
+         but hysteresis bounds how often corrective actions thrash the shared knob."
+    );
+    println!("written to {}", path.display());
+}

@@ -1,0 +1,177 @@
+//! F1-P: regenerates the left table of the paper's Figure 1 as an
+//! *executable* coverage matrix — for each property P1–P6, runs the
+//! subsystem scenario the paper names for it and reports whether the
+//! violation was detected (and how).
+
+use gr_bench::write_results;
+use guardrails::monitor::MonitorEngine;
+use guardrails::props;
+use guardrails::stats::{DriftDetector, SensitivityProbe};
+use memsim::sim::MemPolicyKind;
+use memsim::{run_tiering_sim, TieringSimConfig};
+use netsim::{run_cc_sim, CcSimConfig};
+use schedsim::{run_sched_sim, SchedSimConfig};
+use simkernel::Nanos;
+
+struct Row {
+    id: &'static str,
+    property: &'static str,
+    subsystem: &'static str,
+    detected: bool,
+    evidence: String,
+}
+
+fn p1_row() -> Row {
+    let mut engine = MonitorEngine::new();
+    engine
+        .install_str(&props::p1_in_distribution("p1", "io_model", 0.25, Nanos::from_secs(1)))
+        .unwrap();
+    let store = engine.store();
+    let mut drift = DriftDetector::new("io_model.input", 512, 7);
+    for i in 0..4000 {
+        drift.observe_reference((i % 64) as f64);
+    }
+    drift.freeze();
+    for i in 0..1000 {
+        drift.observe_live((i % 64) as f64 + 200.0);
+    }
+    drift.publish(&store, Nanos::from_secs(1));
+    engine.advance_to(Nanos::from_secs(2));
+    let psi = store.load("io_model.input.psi").unwrap_or(0.0);
+    Row {
+        id: "P1",
+        property: "in-distribution inputs",
+        subsystem: "LinnOS input features",
+        detected: !engine.violations().is_empty(),
+        evidence: format!("PSI {psi:.2} > 0.25 after feature shift"),
+    }
+}
+
+fn p2_row() -> Row {
+    // The congestion-control scenario (noisy measurements) plus a direct
+    // sensitivity probe of a cliff-shaped decision function.
+    let cc = run_cc_sim(CcSimConfig {
+        with_guardrail: true,
+        ..CcSimConfig::default()
+    });
+    let mut probe = SensitivityProbe::new("cc_model", 0.05, 16, 3);
+    let s = probe.probe(&[1.0], |x| if x[0] >= 1.0 { 100.0 } else { 0.0 });
+    Row {
+        id: "P2",
+        property: "robustness of decisions",
+        subsystem: "congestion control",
+        detected: cc.violations > 0,
+        evidence: format!(
+            "decision flapping under RTT noise ({} violations); probe gain {:.0}",
+            cc.violations,
+            s.gain(0.05)
+        ),
+    }
+}
+
+fn p3_row() -> Row {
+    let report = run_tiering_sim(TieringSimConfig {
+        policy: MemPolicyKind::Learned,
+        with_guardrails: true,
+        ..TieringSimConfig::default()
+    });
+    Row {
+        id: "P3",
+        property: "out-of-bounds outputs",
+        subsystem: "memory allocation",
+        detected: report.violations > 0 && report.invalid_allocs <= 2,
+        evidence: format!(
+            "first OOB placement caught; {} invalid allocs reached memory (unguarded: thousands)",
+            report.invalid_allocs
+        ),
+    }
+}
+
+fn p4_row() -> Row {
+    let report = cachesim::run_cache_sim(cachesim::CacheSimConfig {
+        with_guardrail: true,
+        ..cachesim::CacheSimConfig::default()
+    });
+    Row {
+        id: "P4",
+        property: "decision quality",
+        subsystem: "cache replacement",
+        detected: report.violations > 0,
+        evidence: format!(
+            "learned hit rate fell below random shadow; tail recovered to {:.0}%",
+            report.phase2_tail_hit_rate * 100.0
+        ),
+    }
+}
+
+fn p5_row() -> Row {
+    let mut engine = MonitorEngine::new();
+    let registry = engine.registry();
+    registry.register("io_policy", &["learned", "fallback"]).unwrap();
+    engine
+        .install_str(&props::p5_decision_overhead(
+            "p5",
+            "io_model",
+            "io_policy",
+            Nanos::from_secs(2),
+            Nanos::from_secs(1),
+        ))
+        .unwrap();
+    let store = engine.store();
+    for t in 0..40 {
+        let at = Nanos::from_millis(100 * t);
+        store.record("io_model.inference_ns", at, 4_000.0);
+        // Gains evaporate halfway through.
+        let gain = if t < 20 { 50_000.0 } else { 100.0 };
+        store.record("io_model.gain_ns", at, gain);
+    }
+    engine.advance_to(Nanos::from_secs(4));
+    Row {
+        id: "P5",
+        property: "decision overhead",
+        subsystem: "any learned policy",
+        detected: !engine.violations().is_empty(),
+        evidence: format!(
+            "inference cost exceeded windowed gains; fallback active: {}",
+            registry.is_active("io_policy", "fallback")
+        ),
+    }
+}
+
+fn p6_row() -> Row {
+    let report = run_sched_sim(SchedSimConfig {
+        with_guardrail: true,
+        ..SchedSimConfig::default()
+    });
+    Row {
+        id: "P6",
+        property: "fairness and liveness",
+        subsystem: "CPU scheduling",
+        detected: report.violations > 0,
+        evidence: format!(
+            "starvation bounded to {} (unguarded: seconds); Jain {:.3}",
+            report.batch_max_wait, report.jain
+        ),
+    }
+}
+
+fn main() {
+    println!("=== Figure 1 (left): property taxonomy, executed ===\n");
+    let rows = [p1_row(), p2_row(), p3_row(), p4_row(), p5_row(), p6_row()];
+    let mut csv = String::from("property,subsystem,detected,evidence\n");
+    for r in &rows {
+        println!(
+            "{}  {:<26} {:<22} detected={}  {}",
+            r.id, r.property, r.subsystem, r.detected, r.evidence
+        );
+        csv.push_str(&format!(
+            "{},{},{},\"{}\"\n",
+            r.id, r.subsystem, r.detected, r.evidence
+        ));
+    }
+    let path = write_results("fig1_properties.csv", &csv);
+    println!("\nwritten to {}", path.display());
+    let all = rows.iter().all(|r| r.detected);
+    println!("all six properties detectable: {all}");
+    assert!(all, "every Figure 1 property row must be detectable");
+}

@@ -1,0 +1,21 @@
+//! Cache-replacement substrate: the P4 (decision quality) setting.
+//!
+//! Figure 1's P4 row is cache replacement: "decisions of the model must
+//! yield better hit rates than randomly selecting elements". This crate
+//! provides a cache with LRU and random eviction baselines, a learned
+//! admission policy (logistic regression over frequency/recency features,
+//! TinyLFU-flavoured), **shadow caches** that replay the same trace under
+//! the baselines so the guardrail has a live comparator, and the scenario
+//! wiring the P4 guardrail to the monitor engine.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod policy;
+pub mod sim;
+pub mod trace;
+
+pub use cache::{Cache, EvictionPolicy};
+pub use policy::LearnedAdmission;
+pub use sim::{run_cache_sim, CacheReport, CacheSimConfig};
+pub use trace::{CacheTrace, CacheTraceConfig};

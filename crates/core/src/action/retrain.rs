@@ -1,0 +1,233 @@
+//! The `RETRAIN` action (A3): rate limiting and asynchronous execution.
+//!
+//! "We envision offline training, so this is an asynchronous process that
+//! must be protected to prevent abuse from malicious processes by
+//! intentionally triggering frequent retraining" (§3.2). The protection is
+//! the [`RetrainLimiter`]: a per-model minimum interval plus a budget over a
+//! rolling window. The [`AsyncRetrainer`] executes accepted jobs on a
+//! background thread, modelling the offline trainer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use simkernel::Nanos;
+
+/// Why a retrain request was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetrainRejection {
+    /// The per-model minimum interval has not elapsed.
+    TooSoon,
+    /// The rolling-window budget is exhausted.
+    BudgetExhausted,
+}
+
+/// A per-model retraining rate limiter.
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::action::retrain::RetrainLimiter;
+/// use simkernel::Nanos;
+///
+/// let mut lim = RetrainLimiter::new(Nanos::from_secs(10), 2, Nanos::from_secs(60));
+/// assert!(lim.request("m", Nanos::from_secs(0)).is_ok());
+/// assert!(lim.request("m", Nanos::from_secs(1)).is_err()); // Too soon.
+/// assert!(lim.request("m", Nanos::from_secs(15)).is_ok());
+/// assert!(lim.request("m", Nanos::from_secs(30)).is_err()); // Budget of 2/60s spent.
+/// ```
+#[derive(Debug)]
+pub struct RetrainLimiter {
+    min_interval: Nanos,
+    budget: usize,
+    budget_window: Nanos,
+    history: HashMap<String, Vec<Nanos>>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl RetrainLimiter {
+    /// Creates a limiter: at most one retrain per `min_interval`, and at most
+    /// `budget` retrains per `budget_window`, per model.
+    pub fn new(min_interval: Nanos, budget: usize, budget_window: Nanos) -> Self {
+        RetrainLimiter {
+            min_interval,
+            budget: budget.max(1),
+            budget_window,
+            history: HashMap::new(),
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// A permissive default: once per 5 seconds, 10 per 5 minutes.
+    pub fn default_policy() -> Self {
+        Self::new(Nanos::from_secs(5), 10, Nanos::from_secs(300))
+    }
+
+    /// Requests a retrain of `model` at time `now`.
+    pub fn request(&mut self, model: &str, now: Nanos) -> Result<(), RetrainRejection> {
+        let history = self.history.entry(model.to_string()).or_default();
+        let horizon = now.saturating_sub(self.budget_window);
+        history.retain(|&t| t >= horizon);
+        if let Some(&last) = history.last() {
+            if now.saturating_sub(last) < self.min_interval {
+                self.rejected += 1;
+                return Err(RetrainRejection::TooSoon);
+            }
+        }
+        if history.len() >= self.budget {
+            self.rejected += 1;
+            return Err(RetrainRejection::BudgetExhausted);
+        }
+        history.push(now);
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Total accepted requests.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Total rejected requests (the abuse the limiter absorbed).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+/// A retraining job: the model name plus the work to run.
+type Job = (String, Box<dyn FnOnce() + Send>);
+
+/// A background retraining executor.
+///
+/// Jobs run on a dedicated thread in submission order, modelling the
+/// asynchronous offline trainer; the kernel-side caller never blocks.
+pub struct AsyncRetrainer {
+    tx: Option<Sender<Job>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    completed: Arc<Mutex<Vec<String>>>,
+}
+
+impl Default for AsyncRetrainer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AsyncRetrainer {
+    /// Spawns the background trainer thread.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let completed = Arc::new(Mutex::new(Vec::new()));
+        let completed_worker = Arc::clone(&completed);
+        let handle = std::thread::spawn(move || {
+            while let Ok((model, job)) = rx.recv() {
+                job();
+                completed_worker.lock().push(model);
+            }
+        });
+        AsyncRetrainer {
+            tx: Some(tx),
+            handle: Some(handle),
+            completed,
+        }
+    }
+
+    /// Submits a retraining job for `model`; returns immediately.
+    pub fn submit(&self, model: &str, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // A send failure means the worker exited; losing the retrain is
+            // acceptable (the guardrail will fire again), so ignore it.
+            let _ = tx.send((model.to_string(), Box::new(job)));
+        }
+    }
+
+    /// Model names whose jobs have completed, in completion order.
+    pub fn completed(&self) -> Vec<String> {
+        self.completed.lock().clone()
+    }
+
+    /// Shuts the worker down, waiting for queued jobs to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Dropping the sender lets the worker's recv loop end.
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AsyncRetrainer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn limiter_enforces_min_interval_per_model() {
+        let mut lim = RetrainLimiter::new(Nanos::from_secs(10), 100, Nanos::from_secs(1000));
+        assert!(lim.request("a", Nanos::from_secs(0)).is_ok());
+        assert_eq!(
+            lim.request("a", Nanos::from_secs(5)),
+            Err(RetrainRejection::TooSoon)
+        );
+        // A different model has its own clock.
+        assert!(lim.request("b", Nanos::from_secs(5)).is_ok());
+        assert!(lim.request("a", Nanos::from_secs(10)).is_ok());
+        assert_eq!(lim.accepted(), 3);
+        assert_eq!(lim.rejected(), 1);
+    }
+
+    #[test]
+    fn limiter_budget_recovers_after_window() {
+        let mut lim = RetrainLimiter::new(Nanos::from_secs(1), 2, Nanos::from_secs(100));
+        assert!(lim.request("m", Nanos::from_secs(0)).is_ok());
+        assert!(lim.request("m", Nanos::from_secs(10)).is_ok());
+        assert_eq!(
+            lim.request("m", Nanos::from_secs(20)),
+            Err(RetrainRejection::BudgetExhausted)
+        );
+        // After the window slides past the first request, budget frees up.
+        assert!(lim.request("m", Nanos::from_secs(101)).is_ok());
+    }
+
+    #[test]
+    fn async_retrainer_runs_jobs_in_order() {
+        let retrainer = AsyncRetrainer::new();
+        let counter = Arc::new(AtomicU32::new(0));
+        for i in 0..3 {
+            let c = Arc::clone(&counter);
+            retrainer.submit(&format!("model{i}"), move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        retrainer.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn completed_lists_models() {
+        let retrainer = AsyncRetrainer::new();
+        retrainer.submit("m1", || {});
+        retrainer.submit("m2", || {});
+        retrainer.shutdown_blocking_for_test();
+    }
+
+    impl AsyncRetrainer {
+        fn shutdown_blocking_for_test(mut self) {
+            self.shutdown_inner();
+            assert_eq!(self.completed(), vec!["m1".to_string(), "m2".to_string()]);
+        }
+    }
+}

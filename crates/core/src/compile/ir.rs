@@ -1,0 +1,249 @@
+//! The bytecode intermediate representation monitors execute.
+//!
+//! Rules and action operands are lowered to a small stack machine. The design
+//! mirrors the constraints of in-kernel execution environments like eBPF:
+//! a fixed instruction set, interned key references (no string hashing on
+//! the hot path), forward-only jumps, and a static cost model so the
+//! verifier can bound worst-case execution time before installation.
+
+use std::fmt;
+
+use crate::spec::ast::AggKind;
+
+/// One bytecode instruction.
+///
+/// Booleans are represented as `0.0` / `1.0` on the stack; the verifier
+/// tracks boolean-ness statically so the encoding never leaks into rule
+/// semantics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Push an immediate.
+    Push(f64),
+    /// Push the scalar at the interned key (missing keys push 0).
+    Load(u16),
+    /// Push trigger argument `i` (0 when absent, e.g. under TIMER).
+    Arg(u8),
+    /// Push a windowed aggregate of the series at the interned key.
+    Agg {
+        /// Which statistic.
+        kind: AggKind,
+        /// Interned key index.
+        key: u16,
+        /// Window length in nanoseconds.
+        window_ns: u64,
+    },
+    /// Push a windowed quantile of the series at the interned key.
+    Quantile {
+        /// Interned key index.
+        key: u16,
+        /// The quantile in `[0, 1]`.
+        q: f64,
+        /// Window length in nanoseconds.
+        window_ns: u64,
+    },
+    /// Push the EWMA value at the interned key.
+    Ewma(u16),
+    /// Push a quantile of the histogram at the interned key.
+    Hist {
+        /// Interned key index.
+        key: u16,
+        /// The quantile in `[0, 1]`.
+        q: f64,
+    },
+    /// Push the change in the scalar at the interned key since this
+    /// program's previous evaluation (monitor-local state).
+    Delta(u16),
+    /// `x` → `|x|`.
+    Abs,
+    /// `x` → `-x`.
+    Neg,
+    /// Boolean negation (`0.0` ↔ `1.0`).
+    Not,
+    /// Pop `b`, pop `a`, push `a + b`.
+    Add,
+    /// Pop `b`, pop `a`, push `a - b`.
+    Sub,
+    /// Pop `b`, pop `a`, push `a * b`.
+    Mul,
+    /// Pop `b`, pop `a`, push `a / b` (0 when `b == 0`: total semantics).
+    Div,
+    /// Pop `b`, pop `a`, push `a % b` (0 when `b == 0`).
+    Mod,
+    /// Pop `hi`, `lo`, `x`; push `clamp(x, lo, max(lo, hi))`.
+    Clamp,
+    /// Pop `b`, pop `a`, push `a < b` (NaN compares false).
+    Lt,
+    /// Pop `b`, pop `a`, push `a <= b`.
+    Le,
+    /// Pop `b`, pop `a`, push `a > b`.
+    Gt,
+    /// Pop `b`, pop `a`, push `a >= b`.
+    Ge,
+    /// Pop `b`, pop `a`, push `a == b`.
+    Eq,
+    /// Pop `b`, pop `a`, push `a != b`.
+    Ne,
+    /// Jump to the absolute instruction index if the top of stack is falsy,
+    /// *without popping* (short-circuit `&&`). Forward-only.
+    JumpIfFalsePeek(u16),
+    /// Jump to the absolute instruction index if the top of stack is truthy,
+    /// *without popping* (short-circuit `||`). Forward-only.
+    JumpIfTruePeek(u16),
+    /// Discard the top of stack.
+    Pop,
+}
+
+impl Op {
+    /// The static cost of the instruction in the verifier's fuel model.
+    ///
+    /// Feature-store reads cost more than ALU operations (a shard lock plus a
+    /// hash lookup); windowed aggregates cost the most (they scan samples).
+    pub fn cost(self) -> u64 {
+        match self {
+            Op::Agg { .. } | Op::Quantile { .. } => 16,
+            Op::Hist { .. } => 8,
+            Op::Load(_) | Op::Ewma(_) | Op::Delta(_) => 4,
+            _ => 1,
+        }
+    }
+
+    /// How the instruction changes stack depth (pushes minus pops).
+    pub fn stack_effect(self) -> i32 {
+        match self {
+            Op::Push(_)
+            | Op::Load(_)
+            | Op::Arg(_)
+            | Op::Agg { .. }
+            | Op::Quantile { .. }
+            | Op::Ewma(_)
+            | Op::Hist { .. }
+            | Op::Delta(_) => 1,
+            Op::Abs | Op::Neg | Op::Not => 0,
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Mod
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
+            | Op::Ge
+            | Op::Eq
+            | Op::Ne => -1,
+            Op::Clamp => -2,
+            Op::JumpIfFalsePeek(_) | Op::JumpIfTruePeek(_) => 0,
+            Op::Pop => -1,
+        }
+    }
+}
+
+/// A compiled, executable program: instructions plus an interned key table.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// The instruction stream (executed from index 0 to the end).
+    pub ops: Vec<Op>,
+    /// Interned feature-store keys referenced by `Load`/`Agg`/... indices.
+    pub keys: Vec<String>,
+}
+
+impl Program {
+    /// Looks up an interned key by index.
+    pub fn key(&self, idx: u16) -> &str {
+        &self.keys[idx as usize]
+    }
+
+    /// Static worst-case fuel for one evaluation (sum of instruction costs).
+    pub fn worst_case_fuel(&self) -> u64 {
+        self.ops.iter().map(|op| op.cost()).sum()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            let rendered = match op {
+                Op::Push(v) => format!("push {v}"),
+                Op::Load(k) => format!("load {}", self.key(*k)),
+                Op::Arg(i) => format!("arg {i}"),
+                Op::Agg {
+                    kind,
+                    key,
+                    window_ns,
+                } => format!("agg.{} {} window={window_ns}ns", kind.name().to_lowercase(), self.key(*key)),
+                Op::Quantile { key, q, window_ns } => {
+                    format!("quantile {} q={q} window={window_ns}ns", self.key(*key))
+                }
+                Op::Ewma(k) => format!("ewma {}", self.key(*k)),
+                Op::Hist { key, q } => format!("hist {} q={q}", self.key(*key)),
+                Op::Delta(k) => format!("delta {}", self.key(*k)),
+                Op::JumpIfFalsePeek(t) => format!("jz.peek -> {t}"),
+                Op::JumpIfTruePeek(t) => format!("jnz.peek -> {t}"),
+                other => format!("{other:?}").to_lowercase(),
+            };
+            writeln!(f, "{i:4}: {rendered}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_rank_memory_ops_above_alu() {
+        assert!(Op::Load(0).cost() > Op::Add.cost());
+        assert!(
+            Op::Agg {
+                kind: AggKind::Avg,
+                key: 0,
+                window_ns: 1
+            }
+            .cost()
+                > Op::Load(0).cost()
+        );
+    }
+
+    #[test]
+    fn stack_effects_sum_to_one_for_simple_program() {
+        // push 1; push 2; add  =>  net effect +1 (the result).
+        let net: i32 = [Op::Push(1.0), Op::Push(2.0), Op::Add]
+            .iter()
+            .map(|op| op.stack_effect())
+            .sum();
+        assert_eq!(net, 1);
+    }
+
+    #[test]
+    fn worst_case_fuel_sums_costs() {
+        let p = Program {
+            ops: vec![Op::Push(1.0), Op::Load(0), Op::Add],
+            keys: vec!["k".into()],
+        };
+        assert_eq!(p.worst_case_fuel(), 1 + 4 + 1);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn display_renders_disassembly() {
+        let p = Program {
+            ops: vec![Op::Load(0), Op::Push(0.05), Op::Le],
+            keys: vec!["false_submit_rate".into()],
+        };
+        let text = p.to_string();
+        assert!(text.contains("load false_submit_rate"), "{text}");
+        assert!(text.contains("push 0.05"), "{text}");
+        assert!(text.contains("le"), "{text}");
+    }
+}

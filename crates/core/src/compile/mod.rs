@@ -1,0 +1,315 @@
+//! Compilation of checked guardrails into verified monitor programs.
+//!
+//! "The provided guardrails are then automatically compiled into 'guardrail
+//! monitors' that run inside the kernel" (§3.3). Here the target is the
+//! verified bytecode of [`ir`], playing the role eBPF programs play in the
+//! paper's envisioned deployment.
+
+pub mod ir;
+pub mod lower;
+pub mod opt;
+pub mod verify;
+
+use simkernel::Nanos;
+
+use crate::error::Result;
+use crate::spec::ast::ActionStmt;
+use crate::spec::check::{CheckedGuardrail, CheckedSpec, TimerSpec};
+use crate::spec::pretty::print_expr;
+use ir::Program;
+use verify::{verify_named, ExpectedType, VerifyLimits, VerifyReport};
+
+/// Options controlling compilation.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Run the AST optimizer before lowering (on by default; the E2 ablation
+    /// bench measures its effect).
+    pub optimize: bool,
+    /// Verifier resource limits.
+    pub limits: VerifyLimits,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            optimize: true,
+            limits: VerifyLimits::default(),
+        }
+    }
+}
+
+/// A compiled corrective action.
+#[derive(Clone, Debug)]
+pub enum CompiledAction {
+    /// A1: log the violation with the current values of `keys`.
+    Report {
+        /// Human-readable message.
+        message: String,
+        /// Feature-store keys dumped alongside the message.
+        keys: Vec<String>,
+    },
+    /// A2: activate `variant` in policy slot `slot`.
+    Replace {
+        /// Policy slot.
+        slot: String,
+        /// Variant to activate.
+        variant: String,
+    },
+    /// A3: enqueue an asynchronous retrain of `model`.
+    Retrain {
+        /// Model name.
+        model: String,
+    },
+    /// A4: demote/kill tasks selected by `target`.
+    Deprioritize {
+        /// Task-selection key.
+        target: String,
+        /// Demotion amount program (`None` = default of 5 nice levels).
+        steps: Option<Program>,
+    },
+    /// Write `value` to the scalar `key`.
+    Save {
+        /// Destination key.
+        key: String,
+        /// Value program.
+        value: Program,
+    },
+    /// Append `value` to the series `key`.
+    Record {
+        /// Destination series key.
+        key: String,
+        /// Value program.
+        value: Program,
+    },
+}
+
+/// A rule compiled to bytecode, with its source text for diagnostics.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    /// The verified program (evaluates to a boolean).
+    pub program: Program,
+    /// Canonical source text of the rule (for violation records).
+    pub source: String,
+    /// What the verifier proved.
+    pub report: VerifyReport,
+}
+
+/// A fully compiled guardrail, ready to install into the monitor engine.
+#[derive(Clone, Debug)]
+pub struct CompiledGuardrail {
+    /// The guardrail name.
+    pub name: String,
+    /// Resolved periodic triggers.
+    pub timers: Vec<TimerSpec>,
+    /// Tracepoints to attach to.
+    pub hooks: Vec<String>,
+    /// The compiled rules (all must hold; conjunction).
+    pub rules: Vec<CompiledRule>,
+    /// The compiled actions, run in order on violation.
+    pub actions: Vec<CompiledAction>,
+}
+
+impl CompiledGuardrail {
+    /// Static worst-case fuel to evaluate all rules once.
+    pub fn worst_case_rule_fuel(&self) -> u64 {
+        self.rules.iter().map(|r| r.report.worst_case_fuel).sum()
+    }
+
+    /// The evaluation period of the fastest timer, if any timer exists.
+    pub fn min_timer_interval(&self) -> Option<Nanos> {
+        self.timers.iter().map(|t| t.interval).min()
+    }
+}
+
+/// Compiles every guardrail in a checked spec.
+pub fn compile(spec: &CheckedSpec, opts: &CompileOptions) -> Result<Vec<CompiledGuardrail>> {
+    spec.checked
+        .iter()
+        .map(|g| compile_guardrail(g, opts))
+        .collect()
+}
+
+/// Compiles one checked guardrail: optimize → lower → verify.
+pub fn compile_guardrail(
+    g: &CheckedGuardrail,
+    opts: &CompileOptions,
+) -> Result<CompiledGuardrail> {
+    let mut rules = Vec::with_capacity(g.rules.len());
+    for rule in &g.rules {
+        let source = print_expr(rule);
+        let folded = if opts.optimize {
+            opt::fold_expr(rule)
+        } else {
+            rule.clone()
+        };
+        let program = lower::lower_expr(&folded)?;
+        let report = verify_named(&program, ExpectedType::Bool, &opts.limits, &g.name)?;
+        rules.push(CompiledRule {
+            program,
+            source,
+            report,
+        });
+    }
+
+    let mut actions = Vec::with_capacity(g.actions.len());
+    for action in &g.actions {
+        actions.push(compile_action(action, g, opts)?);
+    }
+
+    Ok(CompiledGuardrail {
+        name: g.name.clone(),
+        timers: g.timers.clone(),
+        hooks: g.hooks.clone(),
+        rules,
+        actions,
+    })
+}
+
+fn compile_action(
+    action: &ActionStmt,
+    g: &CheckedGuardrail,
+    opts: &CompileOptions,
+) -> Result<CompiledAction> {
+    let compile_operand = |e: &crate::spec::ast::Expr, expect: ExpectedType| -> Result<Program> {
+        let folded = if opts.optimize {
+            opt::fold_expr(e)
+        } else {
+            e.clone()
+        };
+        let program = lower::lower_expr(&folded)?;
+        verify_named(&program, expect, &opts.limits, &g.name)?;
+        Ok(program)
+    };
+    Ok(match action {
+        ActionStmt::Report { message, keys } => CompiledAction::Report {
+            message: message.clone(),
+            keys: keys.clone(),
+        },
+        ActionStmt::Replace { slot, variant } => CompiledAction::Replace {
+            slot: slot.clone(),
+            variant: variant.clone(),
+        },
+        ActionStmt::Retrain { model } => CompiledAction::Retrain {
+            model: model.clone(),
+        },
+        ActionStmt::Deprioritize { target, steps } => CompiledAction::Deprioritize {
+            target: target.clone(),
+            steps: match steps {
+                Some(e) => Some(compile_operand(e, ExpectedType::Num)?),
+                None => None,
+            },
+        },
+        ActionStmt::Save { key, value } => CompiledAction::Save {
+            key: key.clone(),
+            value: compile_operand(value, ExpectedType::Either)?,
+        },
+        ActionStmt::Record { key, value } => CompiledAction::Record {
+            key: key.clone(),
+            value: compile_operand(value, ExpectedType::Num)?,
+        },
+    })
+}
+
+/// Parses, checks, and compiles guardrail source text in one call.
+///
+/// # Examples
+///
+/// ```
+/// let compiled = guardrails::compile::compile_str(
+///     "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) < 1 }, action: { REPORT(\"x\") } }",
+/// ).unwrap();
+/// assert_eq!(compiled[0].name, "g");
+/// assert_eq!(compiled[0].rules[0].program.len(), 3);
+/// ```
+pub fn compile_str(source: &str) -> Result<Vec<CompiledGuardrail>> {
+    let checked = crate::spec::parse_and_check(source)?;
+    compile(&checked, &CompileOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::ir::Op;
+
+    #[test]
+    fn compiles_listing_2() {
+        let compiled = compile_str(
+            r#"guardrail low-false-submit {
+                trigger: { TIMER(start_time, 1e9) },
+                rule: { LOAD(false_submit_rate) <= 0.05 },
+                action: { SAVE(ml_enabled, false) }
+            }"#,
+        )
+        .unwrap();
+        let g = &compiled[0];
+        assert_eq!(g.name, "low-false-submit");
+        assert_eq!(g.timers[0].interval, Nanos::from_secs(1));
+        assert_eq!(g.rules[0].program.ops, vec![Op::Load(0), Op::Push(0.05), Op::Le]);
+        assert_eq!(g.rules[0].source, "LOAD(false_submit_rate) <= 0.05");
+        match &g.actions[0] {
+            CompiledAction::Save { key, value } => {
+                assert_eq!(key, "ml_enabled");
+                assert_eq!(value.ops, vec![Op::Push(0.0)]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimizer_shrinks_programs() {
+        let src = "guardrail g { trigger: { TIMER(0,1) }, rule: { LOAD(x) < 2 * 1000 + 500 }, action: { REPORT(m) } }";
+        let checked = crate::spec::parse_and_check(src).unwrap();
+        let optimized = compile(&checked, &CompileOptions::default()).unwrap();
+        let unoptimized = compile(
+            &checked,
+            &CompileOptions {
+                optimize: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(optimized[0].rules[0].program.len() < unoptimized[0].rules[0].program.len());
+        assert_eq!(optimized[0].rules[0].program.ops, vec![Op::Load(0), Op::Push(2500.0), Op::Lt]);
+    }
+
+    #[test]
+    fn worst_case_fuel_aggregates_rules() {
+        let compiled = compile_str(
+            "guardrail g { trigger: { TIMER(0,1) }, rule: { LOAD(a) < 1; LOAD(b) < 2 }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+        assert_eq!(
+            compiled[0].worst_case_rule_fuel(),
+            compiled[0].rules.iter().map(|r| r.report.worst_case_fuel).sum::<u64>()
+        );
+        assert_eq!(compiled[0].min_timer_interval(), Some(Nanos::from_nanos(1)));
+    }
+
+    #[test]
+    fn all_actions_compile() {
+        let compiled = compile_str(
+            r#"guardrail g {
+                trigger: { TIMER(0, 1s) FUNCTION(f) },
+                rule: { ARG(0) < 10 },
+                action: {
+                    REPORT("v", a, b)
+                    REPLACE(slot, fallback)
+                    RETRAIN(model)
+                    DEPRIORITIZE(heaviest)
+                    DEPRIORITIZE(heaviest, 3 + 2)
+                    SAVE(k, LOAD(k) + 1)
+                    RECORD(series, ARG(1))
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(compiled[0].actions.len(), 7);
+        assert_eq!(compiled[0].hooks, vec!["f".to_string()]);
+        match &compiled[0].actions[4] {
+            CompiledAction::Deprioritize { steps: Some(p), .. } => {
+                assert_eq!(p.ops, vec![Op::Push(5.0)], "steps constant-folded");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

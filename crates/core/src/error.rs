@@ -1,0 +1,131 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// An error from any stage of the guardrail pipeline.
+///
+/// Errors carry enough position/context information to point a developer at
+/// the offending spec text; monitors that pass compilation and verification
+/// cannot fail at runtime (the VM's arithmetic is total), mirroring the
+/// "crash-free semantics" goal of §4.2.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GuardrailError {
+    /// Lexical error at `line:col`.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error at `line:col`.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// Semantic/type error in guardrail `guardrail`.
+    Check {
+        /// The guardrail being checked.
+        guardrail: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The verifier rejected a compiled program.
+    Verify {
+        /// The guardrail whose program was rejected.
+        guardrail: String,
+        /// What the verifier found.
+        message: String,
+    },
+    /// A runtime configuration error (duplicate names, unknown policies, ...).
+    Config(String),
+}
+
+impl GuardrailError {
+    /// Convenience constructor for lex errors.
+    pub fn lex(line: u32, col: u32, message: impl Into<String>) -> Self {
+        GuardrailError::Lex {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: u32, col: u32, message: impl Into<String>) -> Self {
+        GuardrailError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for check errors.
+    pub fn check(guardrail: impl Into<String>, message: impl Into<String>) -> Self {
+        GuardrailError::Check {
+            guardrail: guardrail.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for verifier errors.
+    pub fn verify(guardrail: impl Into<String>, message: impl Into<String>) -> Self {
+        GuardrailError::Verify {
+            guardrail: guardrail.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GuardrailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardrailError::Lex { line, col, message } => {
+                write!(f, "lex error at {line}:{col}: {message}")
+            }
+            GuardrailError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            GuardrailError::Check { guardrail, message } => {
+                write!(f, "check error in guardrail '{guardrail}': {message}")
+            }
+            GuardrailError::Verify { guardrail, message } => {
+                write!(f, "verifier rejected guardrail '{guardrail}': {message}")
+            }
+            GuardrailError::Config(message) => write!(f, "configuration error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GuardrailError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GuardrailError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_position() {
+        let e = GuardrailError::lex(3, 14, "unexpected '@'");
+        assert_eq!(format!("{e}"), "lex error at 3:14: unexpected '@'");
+        let e = GuardrailError::check("g", "unknown key");
+        assert_eq!(format!("{e}"), "check error in guardrail 'g': unknown key");
+        let e = GuardrailError::verify("g", "stack overflow");
+        assert!(format!("{e}").contains("verifier rejected"));
+        let e = GuardrailError::Config("dup".into());
+        assert!(format!("{e}").contains("configuration"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GuardrailError::parse(1, 1, "x"));
+    }
+}

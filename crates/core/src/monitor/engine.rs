@@ -1,0 +1,745 @@
+//! The monitor engine: trigger scheduling, evaluation, and action dispatch.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use simkernel::Nanos;
+
+use crate::action::report::ReportSink;
+use crate::action::retrain::RetrainLimiter;
+use crate::action::{Command, CommandOutbox};
+use crate::compile::{compile_str, CompiledAction, CompiledGuardrail};
+use crate::error::{GuardrailError, Result};
+use crate::monitor::hysteresis::{Hysteresis, HysteresisState};
+use crate::monitor::overhead::{OverheadAccount, OverheadReport};
+use crate::monitor::violation::{TriggerKind, Violation, ViolationLog};
+use crate::policy::PolicyRegistry;
+use crate::store::FeatureStore;
+use crate::vm::{DeltaState, EvalCtx, Vm};
+
+/// An opaque handle to an installed monitor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MonitorId(usize);
+
+/// Aggregate engine statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Rule-set evaluations performed.
+    pub evaluations: u64,
+    /// Violations detected (rule false).
+    pub violations: u64,
+    /// Violations whose actions actually fired (post-hysteresis).
+    pub trips: u64,
+    /// Deferred commands emitted to the outbox.
+    pub commands_emitted: u64,
+}
+
+struct Monitor {
+    compiled: CompiledGuardrail,
+    rule_deltas: Vec<DeltaState>,
+    action_deltas: Vec<DeltaState>,
+    hysteresis: HysteresisState,
+    overhead: OverheadAccount,
+    enabled: bool,
+    /// Uninstalled monitors are tombstoned (their heap entries drain lazily).
+    retired: bool,
+}
+
+/// The guardrail monitor engine.
+///
+/// The engine plays the role of the in-kernel monitor collection: subsystem
+/// simulations drive it with [`MonitorEngine::advance_to`] (timer ticks) and
+/// [`MonitorEngine::on_function`] (tracepoint firings), and drain deferred
+/// corrective commands with [`MonitorEngine::drain_commands`].
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct MonitorEngine {
+    store: Arc<FeatureStore>,
+    registry: Arc<PolicyRegistry>,
+    reports: ReportSink,
+    outbox: CommandOutbox,
+    limiter: RetrainLimiter,
+    monitors: Vec<Monitor>,
+    names: HashMap<String, usize>,
+    /// Min-heap of (due, monitor, timer-index).
+    timers: BinaryHeap<Reverse<(Nanos, usize, usize)>>,
+    hooks: HashMap<String, Vec<usize>>,
+    violations: ViolationLog,
+    vm: Vm,
+    now: Nanos,
+    stats: EngineStats,
+}
+
+impl Default for MonitorEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonitorEngine {
+    /// Creates an engine with a fresh feature store and policy registry.
+    pub fn new() -> Self {
+        Self::with_parts(Arc::new(FeatureStore::new()), Arc::new(PolicyRegistry::new()))
+    }
+
+    /// Creates an engine over shared store/registry (the usual setup: the
+    /// subsystem simulations hold the same `Arc`s).
+    pub fn with_parts(store: Arc<FeatureStore>, registry: Arc<PolicyRegistry>) -> Self {
+        MonitorEngine {
+            store,
+            registry,
+            reports: ReportSink::new(),
+            outbox: CommandOutbox::default(),
+            limiter: RetrainLimiter::default_policy(),
+            monitors: Vec::new(),
+            names: HashMap::new(),
+            timers: BinaryHeap::new(),
+            hooks: HashMap::new(),
+            violations: ViolationLog::default(),
+            vm: Vm::new(),
+            now: Nanos::ZERO,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Replaces the retrain rate-limiting policy.
+    pub fn set_retrain_limiter(&mut self, limiter: RetrainLimiter) {
+        self.limiter = limiter;
+    }
+
+    /// The shared feature store.
+    pub fn store(&self) -> Arc<FeatureStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The shared policy registry.
+    pub fn registry(&self) -> Arc<PolicyRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The report sink (cloneable; shares the underlying log).
+    pub fn reports(&self) -> ReportSink {
+        self.reports.clone()
+    }
+
+    /// Installs a compiled guardrail; names must be unique per engine.
+    pub fn install(&mut self, compiled: CompiledGuardrail) -> Result<MonitorId> {
+        if self.names.contains_key(&compiled.name) {
+            return Err(GuardrailError::Config(format!(
+                "guardrail '{}' is already installed",
+                compiled.name
+            )));
+        }
+        let idx = self.monitors.len();
+        self.names.insert(compiled.name.clone(), idx);
+        for (t, timer) in compiled.timers.iter().enumerate() {
+            // A monitor installed after its start time begins at "now".
+            let first = timer.start.max(self.now);
+            if first <= timer.stop {
+                self.timers.push(Reverse((first, idx, t)));
+            }
+        }
+        for hook in &compiled.hooks {
+            self.hooks.entry(hook.clone()).or_default().push(idx);
+        }
+        let rule_deltas = vec![DeltaState::default(); compiled.rules.len()];
+        let action_deltas = vec![DeltaState::default(); compiled.actions.len()];
+        self.monitors.push(Monitor {
+            compiled,
+            rule_deltas,
+            action_deltas,
+            hysteresis: HysteresisState::new(Hysteresis::default()),
+            overhead: OverheadAccount::new(),
+            enabled: true,
+            retired: false,
+        });
+        Ok(MonitorId(idx))
+    }
+
+    /// Parses, checks, compiles, verifies, and installs guardrail source.
+    pub fn install_str(&mut self, source: &str) -> Result<Vec<MonitorId>> {
+        compile_str(source)?
+            .into_iter()
+            .map(|g| self.install(g))
+            .collect()
+    }
+
+    /// Uninstalls a guardrail at runtime (§6: "update guardrails at runtime
+    /// without requiring a kernel reboot"). Its overhead account remains
+    /// available post-mortem; its name becomes reusable immediately.
+    pub fn uninstall(&mut self, name: &str) -> Result<()> {
+        let idx = self.lookup(name)?;
+        self.names.remove(name);
+        self.monitors[idx].retired = true;
+        for subscribers in self.hooks.values_mut() {
+            subscribers.retain(|&m| m != idx);
+        }
+        Ok(())
+    }
+
+    /// Atomically updates guardrails at runtime: compiles `source` first
+    /// (nothing changes on a compile error), then replaces any installed
+    /// guardrail with a matching name and installs the rest fresh.
+    pub fn update_str(&mut self, source: &str) -> Result<Vec<MonitorId>> {
+        let compiled = compile_str(source)?;
+        compiled
+            .into_iter()
+            .map(|g| {
+                if self.names.contains_key(&g.name) {
+                    self.uninstall(&g.name)?;
+                }
+                self.install(g)
+            })
+            .collect()
+    }
+
+    /// Sets the hysteresis configuration of an installed guardrail.
+    pub fn set_hysteresis(&mut self, name: &str, config: Hysteresis) -> Result<()> {
+        let idx = self.lookup(name)?;
+        self.monitors[idx].hysteresis.set_config(config);
+        Ok(())
+    }
+
+    /// Enables or disables a guardrail (incremental deployment, §3.3).
+    /// Disabled monitors skip evaluation entirely but keep their timers.
+    pub fn set_enabled(&mut self, name: &str, enabled: bool) -> Result<()> {
+        let idx = self.lookup(name)?;
+        self.monitors[idx].enabled = enabled;
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Result<usize> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| GuardrailError::Config(format!("no installed guardrail '{name}'")))
+    }
+
+    /// Installed (non-retired) guardrail names, in installation order.
+    pub fn monitor_names(&self) -> Vec<String> {
+        self.monitors
+            .iter()
+            .filter(|m| !m.retired)
+            .map(|m| m.compiled.name.clone())
+            .collect()
+    }
+
+    /// The engine's current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances simulated time to `now`, evaluating every timer that comes
+    /// due on the way (in timestamp order).
+    pub fn advance_to(&mut self, now: Nanos) {
+        while let Some(&Reverse((due, midx, tidx))) = self.timers.peek() {
+            if due > now {
+                break;
+            }
+            self.timers.pop();
+            if self.monitors[midx].retired {
+                // Tombstoned by `uninstall`: drop the timer chain.
+                continue;
+            }
+            self.now = due;
+            self.evaluate(midx, due, &[], TriggerKind::Timer);
+            let timer = self.monitors[midx].compiled.timers[tidx];
+            let next = due + timer.interval;
+            if next <= timer.stop {
+                self.timers.push(Reverse((next, midx, tidx)));
+            }
+        }
+        self.now = self.now.max(now);
+    }
+
+    /// Delivers a tracepoint firing to every guardrail attached to `hook`.
+    pub fn on_function(&mut self, hook: &str, now: Nanos, args: &[f64]) {
+        self.now = self.now.max(now);
+        let Some(subscribers) = self.hooks.get(hook) else {
+            return;
+        };
+        let kind = TriggerKind::Function(hook.to_string());
+        for midx in subscribers.clone() {
+            self.evaluate(midx, now, args, kind.clone());
+        }
+    }
+
+    fn evaluate(&mut self, midx: usize, now: Nanos, args: &[f64], trigger: TriggerKind) {
+        if !self.monitors[midx].enabled || self.monitors[midx].retired {
+            return;
+        }
+        self.stats.evaluations += 1;
+        let started = std::time::Instant::now();
+        let mut fuel = 0u64;
+        let mut failed: Option<usize> = None;
+        {
+            let monitor = &mut self.monitors[midx];
+            for (i, rule) in monitor.compiled.rules.iter().enumerate() {
+                let result = self.vm.run(
+                    &rule.program,
+                    &mut EvalCtx {
+                        store: &self.store,
+                        now,
+                        args,
+                        deltas: &mut monitor.rule_deltas[i],
+                    },
+                );
+                fuel += result.fuel;
+                if !result.as_bool() {
+                    failed = Some(i);
+                    break;
+                }
+            }
+        }
+        let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.monitors[midx].overhead.charge_rules(fuel, wall_ns);
+
+        let Some(rule_index) = failed else {
+            // Healthy evaluation still feeds the hysteresis window.
+            self.monitors[midx].hysteresis.observe(false, now);
+            return;
+        };
+        self.stats.violations += 1;
+        let fire = self.monitors[midx].hysteresis.observe(true, now);
+        let (name, rule_source) = {
+            let m = &self.monitors[midx].compiled;
+            (m.name.clone(), m.rules[rule_index].source.clone())
+        };
+        self.violations.push(Violation {
+            at: now,
+            guardrail: name,
+            rule_index,
+            rule_source,
+            trigger,
+            actions_fired: fire,
+        });
+        if fire {
+            self.stats.trips += 1;
+            self.dispatch_actions(midx, now, args);
+        }
+    }
+
+    fn dispatch_actions(&mut self, midx: usize, now: Nanos, args: &[f64]) {
+        let actions = self.monitors[midx].compiled.actions.clone();
+        let name = self.monitors[midx].compiled.name.clone();
+        for (aidx, action) in actions.iter().enumerate() {
+            let mut fuel = 0u64;
+            match action {
+                CompiledAction::Report { message, keys } => {
+                    self.reports.report(now, &name, message, keys, &self.store);
+                }
+                CompiledAction::Replace { slot, variant } => {
+                    if let Err(e) = self.registry.replace(slot, variant) {
+                        // A REPLACE against an unknown slot is a deployment
+                        // bug; surface it in the report log rather than
+                        // crashing the monitor (crash-free semantics, §4.2).
+                        self.reports
+                            .info(now, &name, format!("REPLACE failed: {e}"));
+                    }
+                }
+                CompiledAction::Retrain { model } => {
+                    if self.limiter.request(model, now).is_ok() {
+                        self.outbox.push(
+                            now,
+                            Command::Retrain {
+                                guardrail: name.clone(),
+                                model: model.clone(),
+                            },
+                        );
+                        self.stats.commands_emitted += 1;
+                    }
+                }
+                CompiledAction::Deprioritize { target, steps } => {
+                    let steps_value = match steps {
+                        Some(program) => {
+                            let r = self.vm.run(
+                                program,
+                                &mut EvalCtx {
+                                    store: &self.store,
+                                    now,
+                                    args,
+                                    deltas: &mut self.monitors[midx].action_deltas[aidx],
+                                },
+                            );
+                            fuel += r.fuel;
+                            r.value.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32
+                        }
+                        None => 5,
+                    };
+                    self.outbox.push(
+                        now,
+                        Command::Deprioritize {
+                            guardrail: name.clone(),
+                            target: target.clone(),
+                            steps: steps_value,
+                        },
+                    );
+                    self.stats.commands_emitted += 1;
+                }
+                CompiledAction::Save { key, value } => {
+                    let r = self.vm.run(
+                        value,
+                        &mut EvalCtx {
+                            store: &self.store,
+                            now,
+                            args,
+                            deltas: &mut self.monitors[midx].action_deltas[aidx],
+                        },
+                    );
+                    fuel += r.fuel;
+                    self.store.save(key, r.value);
+                }
+                CompiledAction::Record { key, value } => {
+                    let r = self.vm.run(
+                        value,
+                        &mut EvalCtx {
+                            store: &self.store,
+                            now,
+                            args,
+                            deltas: &mut self.monitors[midx].action_deltas[aidx],
+                        },
+                    );
+                    fuel += r.fuel;
+                    self.store.record(key, now, r.value);
+                }
+            }
+            self.monitors[midx].overhead.charge_action(fuel);
+        }
+    }
+
+    /// Drains the deferred-command outbox (apply these with your subsystem's
+    /// [`simkernel::TaskControl`] / model owner).
+    pub fn drain_commands(&mut self) -> Vec<(Nanos, Command)> {
+        self.outbox.drain()
+    }
+
+    /// Snapshot of recorded violations, oldest first.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.iter().cloned().collect()
+    }
+
+    /// The violation log (bounded ring).
+    pub fn violation_log(&self) -> &ViolationLog {
+        &self.violations
+    }
+
+    /// Aggregate engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Per-monitor overhead accounts (P5).
+    pub fn overhead_reports(&self) -> Vec<OverheadReport> {
+        self.monitors
+            .iter()
+            .map(|m| OverheadReport {
+                guardrail: m.compiled.name.clone(),
+                account: m.overhead,
+            })
+            .collect()
+    }
+
+    /// Total modelled monitoring time across all monitors.
+    pub fn total_modeled_overhead(&self) -> Nanos {
+        self.monitors
+            .iter()
+            .map(|m| m.overhead.modeled())
+            .sum()
+    }
+
+    /// Violations suppressed by hysteresis for `name`.
+    pub fn suppressed(&self, name: &str) -> Result<u64> {
+        let idx = self.lookup(name)?;
+        Ok(self.monitors[idx].hysteresis.suppressed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING_2: &str = r#"
+guardrail low-false-submit {
+    trigger: {
+        TIMER(start_time, 1e9) // Periodically check every 1s.
+    },
+    rule: {
+        LOAD(false_submit_rate) <= 0.05
+    },
+    action: {
+        SAVE(ml_enabled, false)
+    }
+}
+"#;
+
+    #[test]
+    fn listing2_end_to_end() {
+        let mut engine = MonitorEngine::new();
+        engine.install_str(LISTING_2).unwrap();
+        let store = engine.store();
+        store.save("ml_enabled", 1.0);
+        store.save("false_submit_rate", 0.01);
+        // Healthy: the rule holds, nothing happens.
+        engine.advance_to(Nanos::from_secs(3));
+        assert!(store.flag("ml_enabled"));
+        assert!(engine.violations().is_empty());
+        // Degrade: the next tick disables the model.
+        store.save("false_submit_rate", 0.20);
+        engine.advance_to(Nanos::from_secs(4));
+        assert!(!store.flag("ml_enabled"));
+        let violations = engine.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].guardrail, "low-false-submit");
+        assert_eq!(violations[0].rule_source, "LOAD(false_submit_rate) <= 0.05");
+        assert!(violations[0].actions_fired);
+        assert_eq!(violations[0].trigger, TriggerKind::Timer);
+    }
+
+    #[test]
+    fn timer_cadence_is_exact() {
+        let mut engine = MonitorEngine::new();
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(500ms, 1s, 3500ms) }, rule: { LOAD(x) < 0 }, action: { RECORD(ticks, 1) } }",
+            )
+            .unwrap();
+        // The rule is always violated (x missing reads 0), so every tick
+        // records one sample: at 0.5, 1.5, 2.5, 3.5 seconds and never after.
+        engine.advance_to(Nanos::from_secs(10));
+        let store = engine.store();
+        let count = store.aggregate(
+            crate::spec::ast::AggKind::Count,
+            "ticks",
+            Nanos::from_secs(100),
+            engine.now(),
+        );
+        assert_eq!(count, 4.0);
+        assert_eq!(engine.stats().evaluations, 4);
+        assert_eq!(engine.stats().violations, 4);
+    }
+
+    #[test]
+    fn function_trigger_sees_args() {
+        let mut engine = MonitorEngine::new();
+        engine
+            .install_str(
+                r#"guardrail io-bound {
+                    trigger: { FUNCTION(io_submit) },
+                    rule: { ARG(0) <= 4096 },
+                    action: { REPORT("oversized io", io_size) SAVE(io_size, ARG(0)) }
+                }"#,
+            )
+            .unwrap();
+        engine.on_function("io_submit", Nanos::from_micros(1), &[1024.0]);
+        assert!(engine.violations().is_empty());
+        engine.on_function("io_submit", Nanos::from_micros(2), &[8192.0]);
+        let v = engine.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].trigger, TriggerKind::Function("io_submit".into()));
+        assert_eq!(engine.store().load("io_size"), Some(8192.0));
+        assert_eq!(engine.reports().len(), 1);
+        // Unrelated hooks are ignored.
+        engine.on_function("other", Nanos::from_micros(3), &[1.0]);
+        assert_eq!(engine.violations().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_install_rejected() {
+        let mut engine = MonitorEngine::new();
+        engine.install_str(LISTING_2).unwrap();
+        assert!(engine.install_str(LISTING_2).is_err());
+    }
+
+    #[test]
+    fn hysteresis_suppresses_and_cooldown_limits() {
+        let mut engine = MonitorEngine::new();
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { SAVE(fired, LOAD(fired) + 1) } }",
+            )
+            .unwrap();
+        engine
+            .set_hysteresis("g", Hysteresis::n_of_m(3, 3))
+            .unwrap();
+        // Rule violated on every tick (x reads 0). Firing needs 3 in a row.
+        engine.advance_to(Nanos::from_secs(1));
+        assert_eq!(engine.store().load("fired"), None);
+        engine.advance_to(Nanos::from_secs(2));
+        assert_eq!(engine.store().load("fired"), Some(1.0));
+        assert_eq!(engine.suppressed("g").unwrap(), 2);
+        assert!(engine.stats().violations > engine.stats().trips);
+    }
+
+    #[test]
+    fn disabled_monitor_does_not_evaluate() {
+        let mut engine = MonitorEngine::new();
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { REPORT(m) } }",
+            )
+            .unwrap();
+        engine.set_enabled("g", false).unwrap();
+        engine.advance_to(Nanos::from_secs(5));
+        assert_eq!(engine.stats().evaluations, 0);
+        engine.set_enabled("g", true).unwrap();
+        engine.advance_to(Nanos::from_secs(6));
+        assert!(engine.stats().evaluations > 0);
+        assert!(engine.set_enabled("nope", true).is_err());
+    }
+
+    #[test]
+    fn retrain_commands_are_rate_limited() {
+        let mut engine = MonitorEngine::new();
+        engine.set_retrain_limiter(RetrainLimiter::new(
+            Nanos::from_secs(10),
+            100,
+            Nanos::from_secs(1000),
+        ));
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { RETRAIN(io_model) } }",
+            )
+            .unwrap();
+        engine.advance_to(Nanos::from_secs(25));
+        let commands = engine.drain_commands();
+        // Fires at 0, 10, 20 (10s min interval), not at all 26 ticks.
+        assert_eq!(commands.len(), 3);
+        assert!(matches!(
+            &commands[0].1,
+            Command::Retrain { model, .. } if model == "io_model"
+        ));
+        assert!(engine.drain_commands().is_empty(), "drain empties the outbox");
+    }
+
+    #[test]
+    fn deprioritize_emits_commands_with_steps() {
+        let mut engine = MonitorEngine::new();
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 10s) }, rule: { LOAD(x) > 0 }, action: { DEPRIORITIZE(heaviest) DEPRIORITIZE(victim, 7) } }",
+            )
+            .unwrap();
+        engine.advance_to(Nanos::ZERO);
+        let commands = engine.drain_commands();
+        assert_eq!(commands.len(), 2);
+        assert_eq!(
+            commands[0].1,
+            Command::Deprioritize {
+                guardrail: "g".into(),
+                target: "heaviest".into(),
+                steps: 5
+            }
+        );
+        assert_eq!(
+            commands[1].1,
+            Command::Deprioritize {
+                guardrail: "g".into(),
+                target: "victim".into(),
+                steps: 7
+            }
+        );
+    }
+
+    #[test]
+    fn replace_action_swaps_registry() {
+        let mut engine = MonitorEngine::new();
+        let registry = engine.registry();
+        registry.register("io_policy", &["learned", "fallback"]).unwrap();
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { REPLACE(io_policy, fallback) } }",
+            )
+            .unwrap();
+        engine.advance_to(Nanos::ZERO);
+        assert!(registry.is_active("io_policy", "fallback"));
+        assert_eq!(registry.swap_count("io_policy"), 1);
+    }
+
+    #[test]
+    fn replace_unknown_slot_reports_not_crashes() {
+        let mut engine = MonitorEngine::new();
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { REPLACE(ghost, fallback) } }",
+            )
+            .unwrap();
+        engine.advance_to(Nanos::ZERO);
+        let reports = engine.reports().records();
+        assert!(reports.iter().any(|r| r.message.contains("REPLACE failed")));
+    }
+
+    #[test]
+    fn overhead_accounts_accumulate() {
+        let mut engine = MonitorEngine::new();
+        engine.install_str(LISTING_2).unwrap();
+        engine.store().save("false_submit_rate", 0.2);
+        engine.advance_to(Nanos::from_secs(10));
+        let reports = engine.overhead_reports();
+        assert_eq!(reports.len(), 1);
+        let account = reports[0].account;
+        assert_eq!(account.evaluations, 11, "ticks at 0..=10s");
+        assert!(account.rule_fuel > 0);
+        assert!(account.action_fuel > 0, "SAVE operand charged");
+        assert!(engine.total_modeled_overhead() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn uninstall_stops_evaluation_and_frees_the_name() {
+        let mut engine = MonitorEngine::new();
+        engine.install_str(LISTING_2).unwrap();
+        engine.store().save("false_submit_rate", 0.5);
+        engine.advance_to(Nanos::from_secs(2));
+        let evals_before = engine.stats().evaluations;
+        assert!(evals_before > 0);
+        engine.uninstall("low-false-submit").unwrap();
+        assert!(engine.monitor_names().is_empty());
+        engine.advance_to(Nanos::from_secs(10));
+        assert_eq!(engine.stats().evaluations, evals_before, "no further evals");
+        // The name is reusable.
+        engine.install_str(LISTING_2).unwrap();
+        assert_eq!(engine.monitor_names(), vec!["low-false-submit".to_string()]);
+        assert!(engine.uninstall("never-installed").is_err());
+    }
+
+    #[test]
+    fn update_str_replaces_in_place_without_reboot() {
+        let mut engine = MonitorEngine::new();
+        engine.install_str(LISTING_2).unwrap();
+        let store = engine.store();
+        store.save("ml_enabled", 1.0);
+        store.save("false_submit_rate", 0.08);
+        engine.advance_to(Nanos::from_secs(1));
+        assert!(!store.flag("ml_enabled"), "8% violates the 5% bound");
+
+        // Relax the threshold to 10% at runtime.
+        store.save("ml_enabled", 1.0);
+        engine
+            .update_str(
+                "guardrail low-false-submit { trigger: { TIMER(0, 1s) }, rule: { LOAD(false_submit_rate) <= 0.10 }, action: { SAVE(ml_enabled, false) } }",
+            )
+            .unwrap();
+        engine.advance_to(Nanos::from_secs(5));
+        assert!(store.flag("ml_enabled"), "8% is fine under the relaxed bound");
+        assert_eq!(engine.monitor_names(), vec!["low-false-submit".to_string()]);
+
+        // A compile error leaves the installed set untouched.
+        assert!(engine.update_str("guardrail broken {").is_err());
+        assert_eq!(engine.monitor_names(), vec!["low-false-submit".to_string()]);
+    }
+
+    #[test]
+    fn monitor_installed_late_starts_at_now() {
+        let mut engine = MonitorEngine::new();
+        engine.advance_to(Nanos::from_secs(100));
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { RECORD(t, 1) } }",
+            )
+            .unwrap();
+        engine.advance_to(Nanos::from_secs(102));
+        // Fires at 100, 101, 102 — not 103 times from t=0.
+        assert_eq!(engine.stats().evaluations, 3);
+        assert_eq!(engine.monitor_names(), vec!["g".to_string()]);
+    }
+}

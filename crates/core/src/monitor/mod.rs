@@ -1,0 +1,16 @@
+//! The in-kernel monitor runtime.
+//!
+//! Compiled guardrails are installed into a [`engine::MonitorEngine`], which
+//! schedules `TIMER` triggers, receives `FUNCTION` tracepoint firings,
+//! evaluates rules on the VM, records [`violation::Violation`]s, applies
+//! hysteresis, dispatches actions, and accounts per-monitor overhead.
+
+pub mod engine;
+pub mod hysteresis;
+pub mod overhead;
+pub mod violation;
+
+pub use engine::{EngineStats, MonitorEngine, MonitorId};
+pub use hysteresis::{Hysteresis, HysteresisState};
+pub use overhead::{OverheadAccount, OverheadReport, NS_PER_FUEL};
+pub use violation::{TriggerKind, Violation, ViolationLog};

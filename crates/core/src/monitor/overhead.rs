@@ -1,0 +1,153 @@
+//! Per-monitor overhead accounting (property P5).
+//!
+//! One of the paper's motivating complaints about prior work is that it
+//! provides "no way for practitioners to assess if inference overhead is
+//! justified and to bound performance impact" (§1). The engine therefore
+//! charges every rule evaluation and action dispatch to an account, in both
+//! *modelled* nanoseconds (fuel × a per-unit cost, deterministic and usable
+//! inside the simulation) and *measured* wall nanoseconds (for the Criterion
+//! benches).
+
+use simkernel::Nanos;
+
+/// Modelled cost of one fuel unit, in simulated nanoseconds.
+///
+/// Calibrated to a few nanoseconds per simple interpreted instruction, the
+/// right order of magnitude for an eBPF-style monitor on modern hardware.
+pub const NS_PER_FUEL: u64 = 2;
+
+/// The overhead account of one monitor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverheadAccount {
+    /// Rule evaluations performed.
+    pub evaluations: u64,
+    /// Total fuel consumed by rule evaluations.
+    pub rule_fuel: u64,
+    /// Total fuel consumed by action operand programs.
+    pub action_fuel: u64,
+    /// Actions dispatched.
+    pub actions_dispatched: u64,
+    /// Measured wall time spent evaluating, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl OverheadAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one rule evaluation.
+    pub fn charge_rules(&mut self, fuel: u64, wall_ns: u64) {
+        self.evaluations += 1;
+        self.rule_fuel += fuel;
+        self.wall_ns += wall_ns;
+    }
+
+    /// Charges one action dispatch.
+    pub fn charge_action(&mut self, fuel: u64) {
+        self.actions_dispatched += 1;
+        self.action_fuel += fuel;
+    }
+
+    /// Total fuel (rules + actions).
+    pub fn total_fuel(&self) -> u64 {
+        self.rule_fuel + self.action_fuel
+    }
+
+    /// Modelled monitoring time in simulated nanoseconds.
+    pub fn modeled(&self) -> Nanos {
+        Nanos::from_nanos(self.total_fuel() * NS_PER_FUEL)
+    }
+
+    /// Modelled cost per evaluation.
+    pub fn modeled_per_evaluation(&self) -> Nanos {
+        if self.evaluations == 0 {
+            Nanos::ZERO
+        } else {
+            self.modeled() / self.evaluations
+        }
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &OverheadAccount) {
+        self.evaluations += other.evaluations;
+        self.rule_fuel += other.rule_fuel;
+        self.action_fuel += other.action_fuel;
+        self.actions_dispatched += other.actions_dispatched;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+/// A named overhead summary row, as returned by the engine.
+#[derive(Clone, Debug)]
+pub struct OverheadReport {
+    /// The guardrail name.
+    pub guardrail: String,
+    /// The account totals.
+    pub account: OverheadAccount,
+}
+
+impl OverheadReport {
+    /// Fraction of a given busy interval consumed by modelled monitoring
+    /// time. This is the number a P5 guardrail compares against its bound.
+    pub fn fraction_of(&self, interval: Nanos) -> f64 {
+        if interval == Nanos::ZERO {
+            return 0.0;
+        }
+        self.account.modeled().as_nanos() as f64 / interval.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut a = OverheadAccount::new();
+        a.charge_rules(10, 100);
+        a.charge_rules(6, 50);
+        a.charge_action(4);
+        assert_eq!(a.evaluations, 2);
+        assert_eq!(a.rule_fuel, 16);
+        assert_eq!(a.action_fuel, 4);
+        assert_eq!(a.total_fuel(), 20);
+        assert_eq!(a.actions_dispatched, 1);
+        assert_eq!(a.wall_ns, 150);
+        assert_eq!(a.modeled(), Nanos::from_nanos(20 * NS_PER_FUEL));
+        assert_eq!(a.modeled_per_evaluation(), Nanos::from_nanos(20));
+    }
+
+    #[test]
+    fn empty_account_is_zero() {
+        let a = OverheadAccount::new();
+        assert_eq!(a.modeled(), Nanos::ZERO);
+        assert_eq!(a.modeled_per_evaluation(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = OverheadAccount::new();
+        a.charge_rules(10, 5);
+        let mut b = OverheadAccount::new();
+        b.charge_rules(20, 7);
+        b.charge_action(3);
+        a.merge(&b);
+        assert_eq!(a.evaluations, 2);
+        assert_eq!(a.total_fuel(), 33);
+        assert_eq!(a.wall_ns, 12);
+    }
+
+    #[test]
+    fn fraction_of_interval() {
+        let mut account = OverheadAccount::new();
+        account.charge_rules(500, 0); // Modelled 1000ns.
+        let report = OverheadReport {
+            guardrail: "g".into(),
+            account,
+        };
+        assert!((report.fraction_of(Nanos::from_micros(100)) - 0.01).abs() < 1e-12);
+        assert_eq!(report.fraction_of(Nanos::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Violation records.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use simkernel::Nanos;
+
+/// What triggered a rule evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// A periodic `TIMER` trigger.
+    Timer,
+    /// A `FUNCTION` trigger on the named tracepoint.
+    Function(String),
+}
+
+impl fmt::Display for TriggerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriggerKind::Timer => write!(f, "TIMER"),
+            TriggerKind::Function(hook) => write!(f, "FUNCTION({hook})"),
+        }
+    }
+}
+
+/// A recorded property violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// When the violation was detected.
+    pub at: Nanos,
+    /// The guardrail whose rule failed.
+    pub guardrail: String,
+    /// Index of the failed rule within the guardrail.
+    pub rule_index: usize,
+    /// Canonical source text of the failed rule.
+    pub rule_source: String,
+    /// What triggered the evaluation.
+    pub trigger: TriggerKind,
+    /// Whether corrective actions actually fired (hysteresis/cooldown may
+    /// suppress them while still recording the violation).
+    pub actions_fired: bool,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] guardrail '{}' rule #{} violated via {}: {} ({})",
+            self.at,
+            self.guardrail,
+            self.rule_index,
+            self.trigger,
+            self.rule_source,
+            if self.actions_fired {
+                "actions fired"
+            } else {
+                "actions suppressed"
+            }
+        )
+    }
+}
+
+/// A bounded ring of violation records (oldest evicted first).
+#[derive(Debug)]
+pub struct ViolationLog {
+    records: VecDeque<Violation>,
+    capacity: usize,
+    total: u64,
+}
+
+impl Default for ViolationLog {
+    fn default() -> Self {
+        Self::with_capacity(16_384)
+    }
+}
+
+impl ViolationLog {
+    /// Creates a log holding at most `capacity` records (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ViolationLog {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when at capacity.
+    pub fn push(&mut self, v: Violation) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(v);
+        self.total += 1;
+    }
+
+    /// Iterates retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Violation> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total violations ever recorded (including evicted).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained records from a specific guardrail.
+    pub fn for_guardrail<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Violation> {
+        self.records.iter().filter(move |v| v.guardrail == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str, t: u64) -> Violation {
+        Violation {
+            at: Nanos::from_secs(t),
+            guardrail: name.into(),
+            rule_index: 0,
+            rule_source: "LOAD(x) < 1".into(),
+            trigger: TriggerKind::Timer,
+            actions_fired: true,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = ViolationLog::with_capacity(2);
+        log.push(v("a", 1));
+        log.push(v("b", 2));
+        log.push(v("c", 3));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total(), 3);
+        assert_eq!(log.iter().next().unwrap().guardrail, "b");
+    }
+
+    #[test]
+    fn filters_by_guardrail() {
+        let mut log = ViolationLog::default();
+        log.push(v("a", 1));
+        log.push(v("b", 2));
+        log.push(v("a", 3));
+        assert_eq!(log.for_guardrail("a").count(), 2);
+        assert_eq!(log.for_guardrail("zzz").count(), 0);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = v("g", 7).to_string();
+        assert!(text.contains("guardrail 'g'"), "{text}");
+        assert!(text.contains("TIMER"), "{text}");
+        assert!(text.contains("actions fired"), "{text}");
+        let f = Violation {
+            trigger: TriggerKind::Function("io_submit".into()),
+            actions_fired: false,
+            ..v("g", 7)
+        };
+        let text = f.to_string();
+        assert!(text.contains("FUNCTION(io_submit)"), "{text}");
+        assert!(text.contains("suppressed"), "{text}");
+    }
+}

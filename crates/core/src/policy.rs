@@ -1,0 +1,310 @@
+//! Learned policies, fallbacks, and the registry the `REPLACE` action drives.
+//!
+//! "Most systems deploying learned policies supplement but do not replace
+//! existing ones" (§3.2): a [`GuardedPolicy`] owns both a learned policy and
+//! its heuristic fallback, and consults the shared [`PolicyRegistry`] on
+//! every decision to know which is active. The `REPLACE(slot, variant)`
+//! action swaps the active variant in the registry; the policy object itself
+//! never moves, so swaps are cheap and atomic.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{GuardrailError, Result};
+
+/// A decision-making policy: maps a feature vector to a decision value.
+///
+/// The decision encoding is subsystem-specific (LinnOS: probability the I/O
+/// will be slow; scheduler: predicted burst length; ...). Policies also
+/// expose an inference-cost estimate so the engine can account P5 overhead.
+pub trait LearnedPolicy {
+    /// Computes a decision for `features`.
+    fn decide(&mut self, features: &[f64]) -> f64;
+    /// Estimated cost of one inference in simulated nanoseconds.
+    fn inference_cost(&self) -> u64 {
+        1_000
+    }
+    /// Retrains/refreshes the policy (the `RETRAIN` action's entry point).
+    fn retrain(&mut self) {}
+}
+
+/// A known-safe fallback policy (usually a hand-coded heuristic).
+pub trait FallbackPolicy {
+    /// Computes the fallback decision for `features`.
+    fn decide(&mut self, features: &[f64]) -> f64;
+}
+
+impl<F: FnMut(&[f64]) -> f64> FallbackPolicy for F {
+    fn decide(&mut self, features: &[f64]) -> f64 {
+        self(features)
+    }
+}
+
+/// The canonical variant name for the learned policy in a slot.
+pub const VARIANT_LEARNED: &str = "learned";
+/// The canonical variant name for the fallback policy in a slot.
+pub const VARIANT_FALLBACK: &str = "fallback";
+
+#[derive(Debug, Clone)]
+struct Slot {
+    active: String,
+    variants: Vec<String>,
+    swaps: u64,
+}
+
+/// A shared registry of policy slots and their active variants.
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::policy::{PolicyRegistry, VARIANT_FALLBACK, VARIANT_LEARNED};
+///
+/// let reg = PolicyRegistry::new();
+/// reg.register("io_latency", &[VARIANT_LEARNED, VARIANT_FALLBACK]).unwrap();
+/// assert_eq!(reg.active("io_latency").as_deref(), Some(VARIANT_LEARNED));
+/// reg.replace("io_latency", VARIANT_FALLBACK).unwrap();
+/// assert_eq!(reg.active("io_latency").as_deref(), Some(VARIANT_FALLBACK));
+/// ```
+#[derive(Debug, Default)]
+pub struct PolicyRegistry {
+    slots: RwLock<HashMap<String, Slot>>,
+}
+
+impl PolicyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a slot with its allowed variants; the first is active.
+    ///
+    /// Returns an error on empty variants or a duplicate slot name.
+    pub fn register(&self, slot: &str, variants: &[&str]) -> Result<()> {
+        if variants.is_empty() {
+            return Err(GuardrailError::Config(format!(
+                "slot '{slot}' needs at least one variant"
+            )));
+        }
+        let mut slots = self.slots.write();
+        if slots.contains_key(slot) {
+            return Err(GuardrailError::Config(format!(
+                "slot '{slot}' already registered"
+            )));
+        }
+        slots.insert(
+            slot.to_string(),
+            Slot {
+                active: variants[0].to_string(),
+                variants: variants.iter().map(|v| v.to_string()).collect(),
+                swaps: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Returns the active variant of `slot`, if the slot exists.
+    pub fn active(&self, slot: &str) -> Option<String> {
+        self.slots.read().get(slot).map(|s| s.active.clone())
+    }
+
+    /// Returns `true` when `slot`'s active variant is `variant`.
+    pub fn is_active(&self, slot: &str, variant: &str) -> bool {
+        self.slots
+            .read()
+            .get(slot)
+            .is_some_and(|s| s.active == variant)
+    }
+
+    /// Activates `variant` in `slot` (the `REPLACE` action).
+    ///
+    /// Replacing with the already-active variant is a counted no-op, so
+    /// repeated violations do not thrash.
+    pub fn replace(&self, slot: &str, variant: &str) -> Result<()> {
+        let mut slots = self.slots.write();
+        let s = slots.get_mut(slot).ok_or_else(|| {
+            GuardrailError::Config(format!("REPLACE on unknown policy slot '{slot}'"))
+        })?;
+        if !s.variants.iter().any(|v| v == variant) {
+            return Err(GuardrailError::Config(format!(
+                "slot '{slot}' has no variant '{variant}' (variants: {:?})",
+                s.variants
+            )));
+        }
+        if s.active != variant {
+            s.active = variant.to_string();
+            s.swaps += 1;
+        }
+        Ok(())
+    }
+
+    /// How many effective swaps `slot` has seen.
+    pub fn swap_count(&self, slot: &str) -> u64 {
+        self.slots.read().get(slot).map_or(0, |s| s.swaps)
+    }
+
+    /// Lists registered slot names, sorted.
+    pub fn slots(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.slots.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// A policy pair (learned + fallback) gated by the registry.
+///
+/// Subsystems call [`GuardedPolicy::decide`] on their decision path; the
+/// wrapper dispatches to whichever variant the registry says is active and
+/// tracks how many decisions each variant served.
+pub struct GuardedPolicy<L, F> {
+    slot: String,
+    registry: Arc<PolicyRegistry>,
+    learned: L,
+    fallback: F,
+    learned_decisions: u64,
+    fallback_decisions: u64,
+}
+
+impl<L: LearnedPolicy, F: FallbackPolicy> GuardedPolicy<L, F> {
+    /// Creates the pair and registers `slot` with the standard two variants
+    /// (learned active first).
+    ///
+    /// Returns an error if the slot is already registered.
+    pub fn new(slot: &str, registry: Arc<PolicyRegistry>, learned: L, fallback: F) -> Result<Self> {
+        registry.register(slot, &[VARIANT_LEARNED, VARIANT_FALLBACK])?;
+        Ok(GuardedPolicy {
+            slot: slot.to_string(),
+            registry,
+            learned,
+            fallback,
+            learned_decisions: 0,
+            fallback_decisions: 0,
+        })
+    }
+
+    /// Decides via the active variant.
+    pub fn decide(&mut self, features: &[f64]) -> f64 {
+        if self.registry.is_active(&self.slot, VARIANT_LEARNED) {
+            self.learned_decisions += 1;
+            self.learned.decide(features)
+        } else {
+            self.fallback_decisions += 1;
+            self.fallback.decide(features)
+        }
+    }
+
+    /// Returns `true` when the learned variant is currently active.
+    pub fn learned_active(&self) -> bool {
+        self.registry.is_active(&self.slot, VARIANT_LEARNED)
+    }
+
+    /// Inference cost of the *active* variant (fallbacks are free in the P5
+    /// accounting, matching the paper's framing of inference overhead).
+    pub fn inference_cost(&self) -> u64 {
+        if self.learned_active() {
+            self.learned.inference_cost()
+        } else {
+            0
+        }
+    }
+
+    /// Decisions served by (learned, fallback) so far.
+    pub fn decision_counts(&self) -> (u64, u64) {
+        (self.learned_decisions, self.fallback_decisions)
+    }
+
+    /// Mutable access to the learned policy (for retraining).
+    pub fn learned_mut(&mut self) -> &mut L {
+        &mut self.learned
+    }
+
+    /// The slot name this pair is registered under.
+    pub fn slot(&self) -> &str {
+        &self.slot
+    }
+}
+
+impl<L, F> fmt::Debug for GuardedPolicy<L, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GuardedPolicy")
+            .field("slot", &self.slot)
+            .field("learned_decisions", &self.learned_decisions)
+            .field("fallback_decisions", &self.fallback_decisions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstPolicy(f64);
+    impl LearnedPolicy for ConstPolicy {
+        fn decide(&mut self, _: &[f64]) -> f64 {
+            self.0
+        }
+        fn inference_cost(&self) -> u64 {
+            500
+        }
+    }
+
+    #[test]
+    fn registry_register_and_replace() {
+        let reg = PolicyRegistry::new();
+        reg.register("s", &["a", "b"]).unwrap();
+        assert_eq!(reg.active("s").as_deref(), Some("a"));
+        assert!(reg.register("s", &["a"]).is_err(), "duplicate slot");
+        assert!(reg.register("empty", &[]).is_err());
+        reg.replace("s", "b").unwrap();
+        assert!(reg.is_active("s", "b"));
+        assert_eq!(reg.swap_count("s"), 1);
+        // Idempotent replace does not count.
+        reg.replace("s", "b").unwrap();
+        assert_eq!(reg.swap_count("s"), 1);
+        assert!(reg.replace("s", "zzz").is_err());
+        assert!(reg.replace("nope", "a").is_err());
+        assert_eq!(reg.slots(), vec!["s".to_string()]);
+        assert_eq!(reg.active("nope"), None);
+    }
+
+    #[test]
+    fn guarded_policy_dispatches_on_registry() {
+        let reg = Arc::new(PolicyRegistry::new());
+        let mut gp = GuardedPolicy::new(
+            "io",
+            Arc::clone(&reg),
+            ConstPolicy(0.9),
+            |_: &[f64]| 0.1,
+        )
+        .unwrap();
+        assert_eq!(gp.decide(&[]), 0.9);
+        assert!(gp.learned_active());
+        assert_eq!(gp.inference_cost(), 500);
+        reg.replace("io", VARIANT_FALLBACK).unwrap();
+        assert_eq!(gp.decide(&[]), 0.1);
+        assert_eq!(gp.inference_cost(), 0);
+        assert_eq!(gp.decision_counts(), (1, 1));
+        assert_eq!(gp.slot(), "io");
+    }
+
+    #[test]
+    fn duplicate_guarded_slot_fails() {
+        let reg = Arc::new(PolicyRegistry::new());
+        let _a =
+            GuardedPolicy::new("x", Arc::clone(&reg), ConstPolicy(1.0), |_: &[f64]| 0.0).unwrap();
+        assert!(
+            GuardedPolicy::new("x", Arc::clone(&reg), ConstPolicy(1.0), |_: &[f64]| 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn learned_mut_allows_retraining() {
+        let reg = Arc::new(PolicyRegistry::new());
+        let mut gp =
+            GuardedPolicy::new("y", Arc::clone(&reg), ConstPolicy(1.0), |_: &[f64]| 0.0).unwrap();
+        gp.learned_mut().0 = 2.0;
+        assert_eq!(gp.decide(&[]), 2.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Commonly used re-exports.
+
+pub use crate::compile::{compile_str, CompileOptions};
+pub use crate::monitor::{Hysteresis, MonitorEngine, TriggerKind, Violation};
+pub use crate::policy::{
+    FallbackPolicy, GuardedPolicy, LearnedPolicy, PolicyRegistry, VARIANT_FALLBACK,
+    VARIANT_LEARNED,
+};
+pub use crate::spec::{parse, parse_and_check};
+pub use crate::store::FeatureStore;
+pub use simkernel::Nanos;

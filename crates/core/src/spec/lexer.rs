@@ -1,0 +1,421 @@
+//! The hand-rolled lexer for guardrail specifications.
+
+use crate::error::{GuardrailError, Result};
+use crate::spec::token::{Token, TokenKind};
+
+/// Lexes guardrail source text into tokens (ending with [`TokenKind::Eof`]).
+///
+/// `//` comments run to end of line. Identifiers may contain internal `-`
+/// when immediately followed by another identifier character, so the paper's
+/// `low-false-submit` lexes as one name while `LOAD(x) - 1` still lexes as a
+/// subtraction. Duration literals (`1s`, `20ms`, `100us`, `5ns`) are
+/// normalized to nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::spec::{lex, TokenKind};
+///
+/// let toks = lex("LOAD(rate) <= 0.05").unwrap();
+/// assert_eq!(toks[0].kind, TokenKind::Ident("LOAD".into()));
+/// assert_eq!(toks[4].kind, TokenKind::Le);
+/// assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        // Reserve roughly one token per four source bytes.
+        let mut tokens = Vec::with_capacity(self.source.len() / 4 + 1);
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                '{' => self.single(TokenKind::LBrace),
+                '}' => self.single(TokenKind::RBrace),
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                ',' => self.single(TokenKind::Comma),
+                ':' => self.single(TokenKind::Colon),
+                ';' => self.single(TokenKind::Semicolon),
+                '+' => self.single(TokenKind::Plus),
+                '*' => self.single(TokenKind::Star),
+                '%' => self.single(TokenKind::Percent),
+                '/' => self.single(TokenKind::Slash),
+                '-' => self.single(TokenKind::Minus),
+                '<' => self.maybe_eq(TokenKind::Lt, TokenKind::Le),
+                '>' => self.maybe_eq(TokenKind::Gt, TokenKind::Ge),
+                '!' => self.maybe_eq(TokenKind::Bang, TokenKind::Ne),
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::EqEq
+                    } else {
+                        return Err(GuardrailError::lex(line, col, "expected '==' after '='"));
+                    }
+                }
+                '&' => {
+                    self.bump();
+                    if self.peek() == Some('&') {
+                        self.bump();
+                        TokenKind::AndAnd
+                    } else {
+                        return Err(GuardrailError::lex(line, col, "expected '&&' after '&'"));
+                    }
+                }
+                '|' => {
+                    self.bump();
+                    if self.peek() == Some('|') {
+                        self.bump();
+                        TokenKind::OrOr
+                    } else {
+                        return Err(GuardrailError::lex(line, col, "expected '||' after '|'"));
+                    }
+                }
+                '"' => self.string(line, col)?,
+                c if c.is_ascii_digit() || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) => {
+                    self.number(line, col)?
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                other => {
+                    return Err(GuardrailError::lex(
+                        line,
+                        col,
+                        format!("unexpected character '{other}'"),
+                    ))
+                }
+            };
+            tokens.push(Token { kind, line, col });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn maybe_eq(&mut self, bare: TokenKind, with_eq: TokenKind) -> TokenKind {
+        self.bump();
+        if self.peek() == Some('=') {
+            self.bump();
+            with_eq
+        } else {
+            bare
+        }
+    }
+
+    fn string(&mut self, line: u32, col: u32) -> Result<TokenKind> {
+        self.bump(); // Opening quote.
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    other => {
+                        return Err(GuardrailError::lex(
+                            line,
+                            col,
+                            format!("invalid escape {other:?} in string"),
+                        ))
+                    }
+                },
+                Some(c) => s.push(c),
+                None => {
+                    return Err(GuardrailError::lex(line, col, "unterminated string literal"))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) -> Result<TokenKind> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '.' || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else if c == 'e' || c == 'E' {
+                // Scientific notation only when followed by digit or sign+digit;
+                // otherwise this is a unit/ident boundary.
+                let next = self.peek2();
+                let is_exp = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('+') | Some('-') => self
+                        .chars
+                        .get(self.pos + 2)
+                        .is_some_and(|d| d.is_ascii_digit()),
+                    _ => false,
+                };
+                if !is_exp {
+                    break;
+                }
+                text.push('e');
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    text.push(self.bump().expect("sign present"));
+                }
+            } else {
+                break;
+            }
+        }
+        let value: f64 = text
+            .parse()
+            .map_err(|_| GuardrailError::lex(line, col, format!("invalid number '{text}'")))?;
+        // Duration suffix: `ns`, `us`, `ms`, `s`. Longest match first; the
+        // suffix must end the identifier run (so `3smooth` is an error, not
+        // the duration `3s` followed by `mooth`).
+        let mut suffix = String::new();
+        let save = (self.pos, self.line, self.col);
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let scale = match suffix.as_str() {
+            "" => {
+                return Ok(TokenKind::Number(value));
+            }
+            "ns" => 1.0,
+            "us" => 1e3,
+            "ms" => 1e6,
+            "s" => 1e9,
+            other => {
+                (self.pos, self.line, self.col) = save;
+                return Err(GuardrailError::lex(
+                    line,
+                    col,
+                    format!("invalid numeric suffix '{other}' (expected ns/us/ms/s)"),
+                ));
+            }
+        };
+        Ok(TokenKind::Duration(value * scale))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else if (c == '-' || c == '.')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_alphanumeric() || d == '_')
+            {
+                // Hyphenated names like `low-false-submit` and dotted
+                // feature-store keys like `io_model.input.psi`.
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            _ => TokenKind::Ident(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_listing2_header() {
+        let k = kinds("guardrail low-false-submit {");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("guardrail".into()),
+                TokenKind::Ident("low-false-submit".into()),
+                TokenKind::LBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphen_outside_ident_is_minus() {
+        let k = kinds("x - 1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Minus,
+                TokenKind::Number(1.0),
+                TokenKind::Eof,
+            ]
+        );
+        // No space: still subtraction because `1` follows the minus.
+        let k = kinds("LOAD(x)-1");
+        assert!(k.contains(&TokenKind::Minus));
+    }
+
+    #[test]
+    fn scientific_notation_and_durations() {
+        assert_eq!(kinds("1e9")[0], TokenKind::Number(1e9));
+        assert_eq!(kinds("1.5e-3")[0], TokenKind::Number(1.5e-3));
+        assert_eq!(kinds("1s")[0], TokenKind::Duration(1e9));
+        assert_eq!(kinds("20ms")[0], TokenKind::Duration(2e7));
+        assert_eq!(kinds("100us")[0], TokenKind::Duration(1e5));
+        assert_eq!(kinds("7ns")[0], TokenKind::Duration(7.0));
+        assert_eq!(kinds("1_000")[0], TokenKind::Number(1000.0));
+    }
+
+    #[test]
+    fn bad_suffix_is_an_error() {
+        assert!(lex("3smooth").is_err());
+        assert!(lex("3kb").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("1 // trailing comment\n2");
+        assert_eq!(
+            k,
+            vec![TokenKind::Number(1.0), TokenKind::Number(2.0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators_lex() {
+        let k = kinds("<= >= < > == != && || ! + - * / %");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello\n\"world\"""#)[0],
+            TokenKind::Str("hello\n\"world\"".into())
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn single_ampersand_and_pipe_are_errors() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn leading_dot_number() {
+        assert_eq!(kinds(".5")[0], TokenKind::Number(0.5));
+    }
+
+    #[test]
+    fn true_false_keywords() {
+        assert_eq!(kinds("true false"), vec![TokenKind::True, TokenKind::False, TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,74 @@
+//! The guardrail specification language (Listing 1 of the paper).
+//!
+//! A guardrail is written as:
+//!
+//! ```text
+//! guardrail low-false-submit {
+//!     trigger: {
+//!         TIMER(start_time, 1e9) // Periodically check every 1s.
+//!     },
+//!     rule: {
+//!         LOAD(false_submit_rate) <= 0.05
+//!     },
+//!     action: {
+//!         SAVE(ml_enabled, false)
+//!     }
+//! }
+//! ```
+//!
+//! Grammar (an elaboration of the paper's Listing 1):
+//!
+//! ```text
+//! Spec      := Guardrail+
+//! Guardrail := "guardrail" Name "{" Section ("," Section)* ","? "}"
+//! Section   := "trigger" ":" "{" Trigger+ "}"
+//!            | "rule"    ":" "{" Expr+ "}"          // Conjunction of rules.
+//!            | "action"  ":" "{" Action+ "}"
+//! Trigger   := TIMER "(" Expr ("," Expr ("," Expr)?)? ")"   // start, interval, [stop]
+//!            | FUNCTION "(" Name ")"
+//! Action    := REPORT "(" Msg ("," Key)* ")"
+//!            | REPLACE "(" Slot "," Variant ")"
+//!            | RETRAIN "(" Model ")"
+//!            | DEPRIORITIZE "(" Target ("," Expr)? ")"
+//!            | SAVE "(" Key "," Expr ")"
+//!            | RECORD "(" Key "," Expr ")"
+//! Expr      := boolean/arithmetic expressions over literals, LOAD(key),
+//!              ARG(i), windowed aggregates (AVG, SUM, COUNT, MIN, MAX,
+//!              STDDEV, RATE, QUANTILE, EWMA, DELTA) and scalar math (ABS,
+//!              CLAMP). Duration literals `1s`, `20ms`, `100us`, `5ns`
+//!              evaluate to nanoseconds.
+//! ```
+//!
+//! Rules are *decoupled from triggers* (§4.1): the same rule may be checked
+//! periodically (`TIMER`) or on every invocation of a kernel function
+//! (`FUNCTION`), and a property may list several triggers.
+
+pub mod ast;
+pub mod check;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{
+    ActionStmt, BinOp, Expr, Guardrail, Spec, Trigger, UnOp,
+};
+pub use check::{check_spec, CheckedSpec};
+pub use lexer::lex;
+pub use parser::parse;
+pub use token::{Token, TokenKind};
+
+/// Parses and checks guardrail source text in one call.
+///
+/// # Examples
+///
+/// ```
+/// let spec = guardrails::spec::parse_and_check(
+///     "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) < 1 }, action: { REPORT(\"x high\") } }",
+/// ).unwrap();
+/// assert_eq!(spec.spec.guardrails.len(), 1);
+/// ```
+pub fn parse_and_check(source: &str) -> crate::error::Result<CheckedSpec> {
+    let spec = parse(source)?;
+    check_spec(spec)
+}

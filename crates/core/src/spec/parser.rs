@@ -1,0 +1,601 @@
+//! The recursive-descent parser for guardrail specifications.
+
+use crate::error::{GuardrailError, Result};
+use crate::spec::ast::{ActionStmt, AggKind, BinOp, Expr, Guardrail, Spec, Trigger, UnOp};
+use crate::spec::lexer::lex;
+use crate::spec::token::{Token, TokenKind};
+
+/// Parses guardrail source text into a [`Spec`].
+///
+/// # Examples
+///
+/// ```
+/// let spec = guardrails::spec::parse(
+///     "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) < 1 }, action: { REPORT(\"hi\") } }",
+/// ).unwrap();
+/// assert_eq!(spec.guardrails[0].name, "g");
+/// ```
+pub fn parse(source: &str) -> Result<Spec> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.spec()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> GuardrailError {
+        let t = self.peek();
+        GuardrailError::parse(t.line, t.col, message.into())
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips optional `,` / `;` separators between section entries.
+    fn skip_separators(&mut self) {
+        while matches!(self.peek().kind, TokenKind::Comma | TokenKind::Semicolon) {
+            self.bump();
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        match self.bump().kind {
+            TokenKind::Ident(s) => Ok(s),
+            TokenKind::Str(s) => Ok(s),
+            other => Err(self.err(format!("expected a name, found {other}"))),
+        }
+    }
+
+    fn spec(mut self) -> Result<Spec> {
+        let mut guardrails = Vec::new();
+        loop {
+            self.skip_separators();
+            if self.peek().kind == TokenKind::Eof {
+                break;
+            }
+            guardrails.push(self.guardrail()?);
+        }
+        if guardrails.is_empty() {
+            return Err(self.err("expected at least one guardrail"));
+        }
+        Ok(Spec { guardrails })
+    }
+
+    fn guardrail(&mut self) -> Result<Guardrail> {
+        match self.bump().kind {
+            TokenKind::Ident(kw) if kw == "guardrail" => {}
+            other => return Err(self.err(format!("expected 'guardrail', found {other}"))),
+        }
+        let name = self.name()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut triggers = Vec::new();
+        let mut rules = Vec::new();
+        let mut actions = Vec::new();
+        loop {
+            self.skip_separators();
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            let section = self.name()?;
+            self.expect(&TokenKind::Colon)?;
+            self.expect(&TokenKind::LBrace)?;
+            match section.as_str() {
+                "trigger" => loop {
+                    self.skip_separators();
+                    if self.eat(&TokenKind::RBrace) {
+                        break;
+                    }
+                    triggers.push(self.trigger()?);
+                },
+                "rule" => loop {
+                    self.skip_separators();
+                    if self.eat(&TokenKind::RBrace) {
+                        break;
+                    }
+                    rules.push(self.expr()?);
+                },
+                "action" => loop {
+                    self.skip_separators();
+                    if self.eat(&TokenKind::RBrace) {
+                        break;
+                    }
+                    actions.push(self.action()?);
+                },
+                other => {
+                    return Err(self.err(format!(
+                        "unknown section '{other}' (expected trigger/rule/action)"
+                    )))
+                }
+            }
+        }
+        if triggers.is_empty() {
+            return Err(self.err(format!("guardrail '{name}' has no triggers")));
+        }
+        if rules.is_empty() {
+            return Err(self.err(format!("guardrail '{name}' has no rules")));
+        }
+        if actions.is_empty() {
+            return Err(self.err(format!("guardrail '{name}' has no actions")));
+        }
+        Ok(Guardrail {
+            name,
+            triggers,
+            rules,
+            actions,
+        })
+    }
+
+    fn trigger(&mut self) -> Result<Trigger> {
+        let kind = self.name()?;
+        self.expect(&TokenKind::LParen)?;
+        let trigger = match kind.as_str() {
+            "TIMER" => {
+                let start = self.expr()?;
+                self.expect(&TokenKind::Comma)?;
+                let interval = self.expr()?;
+                let stop = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                Trigger::Timer {
+                    start,
+                    interval,
+                    stop,
+                }
+            }
+            "FUNCTION" => Trigger::Function { hook: self.name()? },
+            other => {
+                return Err(self.err(format!(
+                    "unknown trigger '{other}' (expected TIMER or FUNCTION)"
+                )))
+            }
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(trigger)
+    }
+
+    fn action(&mut self) -> Result<ActionStmt> {
+        let kind = self.name()?;
+        self.expect(&TokenKind::LParen)?;
+        let action = match kind.as_str() {
+            "REPORT" => {
+                let message = match self.bump().kind {
+                    TokenKind::Str(s) => s,
+                    TokenKind::Ident(s) => s,
+                    other => return Err(self.err(format!("expected message, found {other}"))),
+                };
+                let mut keys = Vec::new();
+                while self.eat(&TokenKind::Comma) {
+                    keys.push(self.name()?);
+                }
+                ActionStmt::Report { message, keys }
+            }
+            "REPLACE" => {
+                let slot = self.name()?;
+                self.expect(&TokenKind::Comma)?;
+                let variant = self.name()?;
+                ActionStmt::Replace { slot, variant }
+            }
+            "RETRAIN" => ActionStmt::Retrain {
+                model: self.name()?,
+            },
+            "DEPRIORITIZE" => {
+                let target = self.name()?;
+                let steps = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                ActionStmt::Deprioritize { target, steps }
+            }
+            "SAVE" => {
+                let key = self.name()?;
+                self.expect(&TokenKind::Comma)?;
+                ActionStmt::Save {
+                    key,
+                    value: self.expr()?,
+                }
+            }
+            "RECORD" => {
+                let key = self.name()?;
+                self.expect(&TokenKind::Comma)?;
+                ActionStmt::Record {
+                    key,
+                    value: self.expr()?,
+                }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "unknown action '{other}' (expected REPORT/REPLACE/RETRAIN/DEPRIORITIZE/SAVE/RECORD)"
+                )))
+            }
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(action)
+    }
+
+    // Expression precedence: || < && < ! < comparisons < +- < */% < unary.
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Bang) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            // Fold literal negation so `-5` is the literal -5 (and negative
+            // numbers round-trip through the pretty-printer structurally).
+            match self.peek().kind {
+                TokenKind::Number(n) | TokenKind::Duration(n) => {
+                    self.bump();
+                    return Ok(Expr::Number(-n));
+                }
+                _ => {}
+            }
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump().kind {
+            TokenKind::Number(n) => Ok(Expr::Number(n)),
+            TokenKind::Duration(n) => Ok(Expr::Number(n)),
+            TokenKind::True => Ok(Expr::Bool(true)),
+            TokenKind::False => Ok(Expr::Bool(false)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.peek().kind != TokenKind::LParen {
+                    return Ok(Expr::Symbol(name));
+                }
+                self.builtin_call(&name)
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    fn builtin_call(&mut self, name: &str) -> Result<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        let agg = match name {
+            "AVG" => Some(AggKind::Avg),
+            "SUM" => Some(AggKind::Sum),
+            "COUNT" => Some(AggKind::Count),
+            "MIN" => Some(AggKind::Min),
+            "MAX" => Some(AggKind::Max),
+            "STDDEV" => Some(AggKind::StdDev),
+            "RATE" => Some(AggKind::Rate),
+            _ => None,
+        };
+        let expr = if let Some(kind) = agg {
+            let key = self.name()?;
+            self.expect(&TokenKind::Comma)?;
+            let window = self.expr()?;
+            Expr::Aggregate {
+                kind,
+                key,
+                window: Box::new(window),
+            }
+        } else {
+            match name {
+                "LOAD" => Expr::Load(self.name()?),
+                "EWMA" => Expr::Ewma(self.name()?),
+                "DELTA" => Expr::Delta(self.name()?),
+                "ARG" => match self.bump().kind {
+                    TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => Expr::Arg(n as u32),
+                    other => {
+                        return Err(self.err(format!(
+                            "ARG expects a non-negative integer index, found {other}"
+                        )))
+                    }
+                },
+                "ABS" => Expr::Abs(Box::new(self.expr()?)),
+                "CLAMP" => {
+                    let x = self.expr()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let lo = self.expr()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let hi = self.expr()?;
+                    Expr::Clamp(Box::new(x), Box::new(lo), Box::new(hi))
+                }
+                "HIST" => {
+                    let key = self.name()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let q = self.expr()?;
+                    Expr::Hist {
+                        key,
+                        q: Box::new(q),
+                    }
+                }
+                "QUANTILE" => {
+                    let key = self.name()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let q = self.expr()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let window = self.expr()?;
+                    Expr::Quantile {
+                        key,
+                        q: Box::new(q),
+                        window: Box::new(window),
+                    }
+                }
+                other => return Err(self.err(format!("unknown builtin '{other}'"))),
+            }
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact spec text from the paper's Listing 2.
+    pub const LISTING_2: &str = r#"
+guardrail low-false-submit {
+    trigger: {
+        TIMER(start_time, 1e9) // Periodically check every 1s.
+    },
+    rule: {
+        LOAD(false_submit_rate) <= 0.05
+    },
+    action: {
+        SAVE(ml_enabled, false)
+    }
+}
+"#;
+
+    #[test]
+    fn parses_listing_2_verbatim() {
+        let spec = parse(LISTING_2).unwrap();
+        assert_eq!(spec.guardrails.len(), 1);
+        let g = &spec.guardrails[0];
+        assert_eq!(g.name, "low-false-submit");
+        assert!(matches!(
+            &g.triggers[0],
+            Trigger::Timer { interval, .. } if *interval == Expr::Number(1e9)
+        ));
+        assert_eq!(
+            g.rules[0],
+            Expr::bin(
+                BinOp::Le,
+                Expr::Load("false_submit_rate".into()),
+                Expr::Number(0.05)
+            )
+        );
+        assert_eq!(
+            g.actions[0],
+            ActionStmt::Save {
+                key: "ml_enabled".into(),
+                value: Expr::Bool(false)
+            }
+        );
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let spec = parse(
+            "guardrail g { trigger: { TIMER(0,1) }, rule: { 1 + 2 * 3 < 10 && !false }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+        let rule = &spec.guardrails[0].rules[0];
+        // (1 + (2*3)) < 10) && (!false)
+        match rule {
+            Expr::Binary(BinOp::And, lhs, rhs) => {
+                assert!(matches!(**lhs, Expr::Binary(BinOp::Lt, _, _)));
+                assert!(matches!(**rhs, Expr::Unary(UnOp::Not, _)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_triggers_rules_actions() {
+        let spec = parse(
+            r#"guardrail g {
+                trigger: { TIMER(0, 1s, 10s), FUNCTION(io_submit) },
+                rule: { LOAD(a) < 1; AVG(lat, 10s) < 2000 },
+                action: {
+                    REPORT("violated", a, lat)
+                    REPLACE(io_policy, heuristic)
+                    RETRAIN(latency_model)
+                    DEPRIORITIZE(heaviest_task, 5)
+                    RECORD(viol, 1)
+                }
+            }"#,
+        )
+        .unwrap();
+        let g = &spec.guardrails[0];
+        assert_eq!(g.triggers.len(), 2);
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.actions.len(), 5);
+        assert!(matches!(&g.triggers[1], Trigger::Function { hook } if hook == "io_submit"));
+        assert!(matches!(&g.actions[1], ActionStmt::Replace { slot, variant }
+            if slot == "io_policy" && variant == "heuristic"));
+    }
+
+    #[test]
+    fn duration_literals_in_rules() {
+        let spec = parse(
+            "guardrail g { trigger: { TIMER(0, 500ms) }, rule: { QUANTILE(lat, 0.99, 10s) < 50ms }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+        match &spec.guardrails[0].rules[0] {
+            Expr::Binary(BinOp::Lt, q, bound) => {
+                assert!(matches!(**q, Expr::Quantile { .. }));
+                assert_eq!(**bound, Expr::Number(50e6));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        assert!(parse("guardrail g { rule: { 1 < 2 }, action: { REPORT(m) } }").is_err());
+        assert!(parse("guardrail g { trigger: { TIMER(0,1) }, action: { REPORT(m) } }").is_err());
+        assert!(parse("guardrail g { trigger: { TIMER(0,1) }, rule: { 1 < 2 } }").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn unknown_constructs_rejected() {
+        assert!(parse("guardrail g { trigger: { CRON(0) }, rule: { true }, action: { REPORT(m) } }").is_err());
+        assert!(parse("guardrail g { trigger: { TIMER(0,1) }, rule: { FOO(x) }, action: { REPORT(m) } }").is_err());
+        assert!(parse("guardrail g { trigger: { TIMER(0,1) }, rule: { true }, action: { EXPLODE(m) } }").is_err());
+        assert!(parse("guardrail g { wibble: { } }").is_err());
+    }
+
+    #[test]
+    fn arg_index_must_be_integer() {
+        assert!(parse(
+            "guardrail g { trigger: { FUNCTION(f) }, rule: { ARG(0.5) < 1 }, action: { REPORT(m) } }"
+        )
+        .is_err());
+        let spec = parse(
+            "guardrail g { trigger: { FUNCTION(f) }, rule: { ARG(2) < 1 }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+        assert_eq!(spec.guardrails[0].rules[0],
+            Expr::bin(BinOp::Lt, Expr::Arg(2), Expr::Number(1.0)));
+    }
+
+    #[test]
+    fn two_guardrails_in_one_spec() {
+        let spec = parse(
+            "guardrail a { trigger: { TIMER(0,1) }, rule: { true }, action: { REPORT(m) } }
+             guardrail b { trigger: { TIMER(0,1) }, rule: { true }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+        assert_eq!(spec.guardrails.len(), 2);
+        assert_eq!(spec.guardrails[1].name, "b");
+    }
+
+    #[test]
+    fn hist_builtin_parses() {
+        let spec = parse(
+            "guardrail g { trigger: { TIMER(0,1) }, rule: { HIST(fault_lat, 0.99) <= 50ms }, action: { REPORT(m) } }",
+        )
+        .unwrap();
+        match &spec.guardrails[0].rules[0] {
+            Expr::Binary(BinOp::Le, lhs, _) => {
+                assert!(matches!(**lhs, Expr::Hist { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_hook_names_allowed() {
+        let spec = parse(
+            r#"guardrail g { trigger: { FUNCTION("submit_bio") }, rule: { true }, action: { REPORT(m) } }"#,
+        )
+        .unwrap();
+        assert!(matches!(&spec.guardrails[0].triggers[0],
+            Trigger::Function { hook } if hook == "submit_bio"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Token definitions for the guardrail language.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`guardrail`, `LOAD`, `false_submit_rate`, ...).
+    ///
+    /// Guardrail names may contain `-` (as in the paper's
+    /// `low-false-submit`); the lexer joins ident-minus-ident sequences only
+    /// when no whitespace separates them.
+    Ident(String),
+    /// A numeric literal (including scientific notation like `1e9`).
+    Number(f64),
+    /// A duration literal, normalized to nanoseconds (`1s` → `1e9`).
+    Duration(f64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Duration(n) => write!(f, "duration {n}ns"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::True => write!(f, "'true'"),
+            TokenKind::False => write!(f, "'false'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Ge => write!(f, "'>='"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::EqEq => write!(f, "'=='"),
+            TokenKind::Ne => write!(f, "'!='"),
+            TokenKind::AndAnd => write!(f, "'&&'"),
+            TokenKind::OrOr => write!(f, "'||'"),
+            TokenKind::Bang => write!(f, "'!'"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Percent => write!(f, "'%'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

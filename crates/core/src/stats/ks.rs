@@ -1,0 +1,106 @@
+//! The two-sample Kolmogorov–Smirnov statistic.
+
+/// Computes the two-sample KS statistic `D = sup |F_a(x) - F_b(x)|`.
+///
+/// Returns a value in `[0, 1]`; 0 means identical empirical distributions.
+/// Either sample being empty yields 0 (no evidence of drift — the guardrail
+/// should not fire on missing data).
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::stats::ks_statistic;
+///
+/// let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+/// assert!(ks_statistic(&a, &b) < 0.05);
+/// let shifted: Vec<f64> = (0..100).map(|i| i as f64 + 500.0).collect();
+/// assert!(ks_statistic(&a, &shifted) > 0.9);
+/// ```
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut a: Vec<f64> = a.iter().copied().filter(|x| x.is_finite()).collect();
+    let mut b: Vec<f64> = b.iter().copied().filter(|x| x.is_finite()).collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        let x = a[i].min(b[j]);
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// The critical KS value for significance level `alpha` at the given sample
+/// sizes (asymptotic formula). `D > critical` rejects "same distribution".
+pub fn ks_critical(alpha: f64, na: usize, nb: usize) -> f64 {
+    if na == 0 || nb == 0 {
+        return 1.0;
+    }
+    let alpha = alpha.clamp(1e-9, 0.5);
+    let c = (-0.5 * (alpha / 2.0).ln()).sqrt();
+    let (na, nb) = (na as f64, nb as f64);
+    c * ((na + nb) / (na * nb)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_and_non_finite_inputs_are_safe() {
+        assert_eq!(ks_statistic(&[], &[1.0]), 0.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 0.0);
+        assert_eq!(ks_statistic(&[f64::NAN], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [1.0, 5.0, 3.0, 9.0, 2.0];
+        let b = [4.0, 4.5, 6.0, 8.0];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_sample_size() {
+        let small = ks_critical(0.05, 20, 20);
+        let large = ks_critical(0.05, 2000, 2000);
+        assert!(small > large);
+        assert_eq!(ks_critical(0.05, 0, 10), 1.0);
+    }
+
+    #[test]
+    fn detects_scale_shift() {
+        // Same mean, different spread.
+        let narrow: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let wide: Vec<f64> = (0..200).map(|i| ((i % 10) as f64 - 4.5) * 10.0 + 4.5).collect();
+        let d = ks_statistic(&narrow, &wide);
+        assert!(d > 0.3, "d = {d}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Statistical machinery for the input-state properties (P1, P2).
+//!
+//! P1 ("in-distribution inputs") requires "tracking statistical properties
+//! of the input features (range, quartiles, etc.) and periodically ensuring
+//! they match training data" (§3.1). This module provides the pieces:
+//! reservoir sampling to hold a reference snapshot of the training
+//! distribution, a two-sample Kolmogorov–Smirnov test and the Population
+//! Stability Index as drift scores, and a [`drift::DriftDetector`] that
+//! publishes scores into the feature store where guardrail rules can bound
+//! them.
+//!
+//! P2 ("robustness of decisions") is served by [`robustness::SensitivityProbe`]:
+//! perturb a model's inputs with small noise and measure how wildly its
+//! output moves.
+
+pub mod drift;
+pub mod ks;
+pub mod psi;
+pub mod reservoir;
+pub mod robustness;
+
+pub use drift::DriftDetector;
+pub use ks::ks_statistic;
+pub use psi::psi;
+pub use reservoir::Reservoir;
+pub use robustness::SensitivityProbe;

@@ -1,0 +1,103 @@
+//! The Population Stability Index.
+
+/// Computes the PSI of `live` against `reference` over `buckets`
+/// equal-population buckets derived from the reference sample.
+///
+/// Industry rule of thumb: PSI < 0.1 is stable, 0.1–0.25 is moderate drift,
+/// > 0.25 is major drift. Empty inputs yield 0.
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::stats::psi;
+///
+/// let reference: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+/// let same: Vec<f64> = (0..1000).map(|i| ((i * 7) % 100) as f64).collect();
+/// assert!(psi(&reference, &same, 10) < 0.1);
+/// let shifted: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 + 80.0).collect();
+/// assert!(psi(&reference, &shifted, 10) > 0.25);
+/// ```
+pub fn psi(reference: &[f64], live: &[f64], buckets: usize) -> f64 {
+    let mut reference: Vec<f64> = reference.iter().copied().filter(|x| x.is_finite()).collect();
+    let live: Vec<f64> = live.iter().copied().filter(|x| x.is_finite()).collect();
+    if reference.is_empty() || live.is_empty() {
+        return 0.0;
+    }
+    let buckets = buckets.clamp(2, 64);
+    reference.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // Bucket edges at reference quantiles (equal-population buckets).
+    let mut edges = Vec::with_capacity(buckets - 1);
+    for k in 1..buckets {
+        let idx = (k * reference.len()) / buckets;
+        edges.push(reference[idx.min(reference.len() - 1)]);
+    }
+
+    let assign = |x: f64| -> usize { edges.partition_point(|&e| e < x) };
+    let mut ref_counts = vec![0usize; buckets];
+    for &x in &reference {
+        ref_counts[assign(x)] += 1;
+    }
+    let mut live_counts = vec![0usize; buckets];
+    for &x in &live {
+        live_counts[assign(x)] += 1;
+    }
+
+    // Laplace-smooth so empty buckets don't blow up the logarithm.
+    let smooth = |count: usize, total: usize| -> f64 {
+        (count as f64 + 0.5) / (total as f64 + 0.5 * buckets as f64)
+    };
+    let mut total = 0.0;
+    for b in 0..buckets {
+        let p = smooth(ref_counts[b], reference.len());
+        let q = smooth(live_counts[b], live.len());
+        total += (q - p) * (q / p).ln();
+    }
+    total.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_near_zero() {
+        let a: Vec<f64> = (0..500).map(|i| (i % 50) as f64).collect();
+        assert!(psi(&a, &a, 10) < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_shift_magnitude() {
+        let reference: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let small: Vec<f64> = reference.iter().map(|x| x + 5.0).collect();
+        let large: Vec<f64> = reference.iter().map(|x| x + 60.0).collect();
+        let psi_small = psi(&reference, &small, 10);
+        let psi_large = psi(&reference, &large, 10);
+        assert!(psi_small < psi_large, "{psi_small} vs {psi_large}");
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(psi(&[], &[1.0], 10), 0.0);
+        assert_eq!(psi(&[1.0], &[], 10), 0.0);
+        assert_eq!(psi(&[f64::NAN], &[1.0], 10), 0.0);
+    }
+
+    #[test]
+    fn degenerate_reference_is_finite() {
+        // All reference values identical: everything lands in one bucket.
+        let reference = vec![5.0; 100];
+        let live: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let v = psi(&reference, &live, 10);
+        assert!(v.is_finite());
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn bucket_count_is_clamped() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // buckets = 0 and buckets = 10_000 must not panic.
+        assert!(psi(&a, &a, 0).is_finite());
+        assert!(psi(&a, &a, 10_000).is_finite());
+    }
+}

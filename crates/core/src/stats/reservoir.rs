@@ -1,0 +1,125 @@
+//! Uniform reservoir sampling (Algorithm R) with deterministic seeding.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed-size uniform sample of a stream.
+///
+/// The reference snapshot of a model's training-input distribution is held
+/// as a reservoir: bounded memory (a kernel requirement) while remaining an
+/// unbiased sample for the KS/PSI drift tests.
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::stats::Reservoir;
+///
+/// let mut r = Reservoir::new(100, 42);
+/// for i in 0..10_000 {
+///     r.push(i as f64);
+/// }
+/// assert_eq!(r.len(), 100);
+/// assert_eq!(r.seen(), 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    capacity: usize,
+    samples: Vec<f64>,
+    seen: u64,
+    rng: SmallRng,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding up to `capacity` samples (minimum 1).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Reservoir {
+            capacity: capacity.max(1),
+            samples: Vec::new(),
+            seen: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offers one stream element to the reservoir.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// The retained sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total stream elements offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Clears the reservoir (for a fresh reference after retraining).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_until_full() {
+        let mut r = Reservoir::new(5, 1);
+        for i in 0..5 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.samples(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_is_approximately_uniform() {
+        // Push 0..1000 and check the retained mean is near 500.
+        let mut means = Vec::new();
+        for seed in 0..20 {
+            let mut r = Reservoir::new(50, seed);
+            for i in 0..1000 {
+                r.push(i as f64);
+            }
+            means.push(r.samples().iter().sum::<f64>() / r.len() as f64);
+        }
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        assert!((grand - 500.0).abs() < 60.0, "grand mean {grand}");
+    }
+
+    #[test]
+    fn ignores_non_finite_and_clears() {
+        let mut r = Reservoir::new(3, 0);
+        r.push(f64::NAN);
+        assert!(r.is_empty());
+        r.push(1.0);
+        assert_eq!(r.seen(), 1);
+        r.clear();
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.seen(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The P2 robustness probe: do similar inputs yield similar outputs?
+//!
+//! "One property to check would be that a small variance in inputs should
+//! not lead to large variance in model outputs" (§3.1). The probe perturbs a
+//! decision point with small relative noise and measures how far the
+//! model's output moves; the resulting sensitivity score is published to the
+//! feature store so a guardrail rule can bound it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simkernel::Nanos;
+
+use crate::store::FeatureStore;
+
+/// The result of one sensitivity probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sensitivity {
+    /// The unperturbed output.
+    pub base_output: f64,
+    /// Maximum absolute output deviation across perturbations.
+    pub max_deviation: f64,
+    /// Standard deviation of outputs across perturbations.
+    pub output_std: f64,
+}
+
+impl Sensitivity {
+    /// Deviation relative to the noise amplitude: the local "gain" of the
+    /// model. A well-conditioned model has gain of order 1; an unstable one
+    /// amplifies noise by orders of magnitude.
+    pub fn gain(&self, noise: f64) -> f64 {
+        if noise <= 0.0 {
+            return 0.0;
+        }
+        self.max_deviation / noise
+    }
+}
+
+/// Probes a model's local sensitivity by input perturbation.
+#[derive(Clone, Debug)]
+pub struct SensitivityProbe {
+    prefix: String,
+    noise: f64,
+    probes: usize,
+    rng: SmallRng,
+}
+
+impl SensitivityProbe {
+    /// Creates a probe publishing under `prefix`, perturbing each feature by
+    /// relative noise `noise` (e.g. 0.05 = ±5%), `probes` times per check.
+    pub fn new(prefix: &str, noise: f64, probes: usize, seed: u64) -> Self {
+        SensitivityProbe {
+            prefix: prefix.to_string(),
+            noise: noise.abs().max(1e-9),
+            probes: probes.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Probes `model` at `input`.
+    ///
+    /// Perturbations are multiplicative (`x * (1 + u)`, `u ∈ [-noise, noise]`)
+    /// with an additive floor for zero-valued features.
+    pub fn probe(&mut self, input: &[f64], mut model: impl FnMut(&[f64]) -> f64) -> Sensitivity {
+        let base_output = model(input);
+        let mut outputs = Vec::with_capacity(self.probes);
+        let mut perturbed = input.to_vec();
+        for _ in 0..self.probes {
+            for (p, &x) in perturbed.iter_mut().zip(input) {
+                let u = self.rng.gen_range(-self.noise..=self.noise);
+                *p = if x.abs() > 1e-12 {
+                    x * (1.0 + u)
+                } else {
+                    u
+                };
+            }
+            outputs.push(model(&perturbed));
+        }
+        let max_deviation = outputs
+            .iter()
+            .map(|o| (o - base_output).abs())
+            .fold(0.0, f64::max);
+        let mean = outputs.iter().sum::<f64>() / outputs.len() as f64;
+        let var = outputs.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / outputs.len() as f64;
+        Sensitivity {
+            base_output,
+            max_deviation,
+            output_std: var.sqrt(),
+        }
+    }
+
+    /// Probes and publishes `<prefix>.sensitivity` (max deviation) and
+    /// `<prefix>.gain` to the feature store.
+    pub fn probe_and_publish(
+        &mut self,
+        input: &[f64],
+        model: impl FnMut(&[f64]) -> f64,
+        store: &FeatureStore,
+        now: Nanos,
+    ) -> Sensitivity {
+        let s = self.probe(input, model);
+        store.save(&format!("{}.sensitivity", self.prefix), s.max_deviation);
+        store.save(&format!("{}.gain", self.prefix), s.gain(self.noise));
+        store.record(&format!("{}.gain_series", self.prefix), now, s.gain(self.noise));
+        s
+    }
+
+    /// The configured relative noise amplitude.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_model_has_low_gain() {
+        let mut probe = SensitivityProbe::new("m", 0.05, 16, 1);
+        // Linear model: gain ~ |slope| * |x| relative to noise... with
+        // multiplicative noise on x=10, deviation ≈ 2 * 10 * 0.05 = 1, so
+        // gain ≈ deviation / 0.05 is bounded by ~2|x|.
+        let s = probe.probe(&[10.0], |x| 2.0 * x[0]);
+        assert_eq!(s.base_output, 20.0);
+        assert!(s.max_deviation <= 1.0 + 1e-9, "{}", s.max_deviation);
+        assert!(s.output_std <= s.max_deviation);
+    }
+
+    #[test]
+    fn discontinuous_model_has_high_gain() {
+        let mut probe = SensitivityProbe::new("m", 0.05, 32, 2);
+        // A cliff right at the probe point: tiny noise flips the output.
+        let s = probe.probe(&[1.0], |x| if x[0] >= 1.0 { 1000.0 } else { 0.0 });
+        assert!(s.max_deviation >= 999.0, "{}", s.max_deviation);
+        assert!(s.gain(0.05) > 1e4);
+    }
+
+    #[test]
+    fn constant_model_is_perfectly_robust() {
+        let mut probe = SensitivityProbe::new("m", 0.1, 8, 3);
+        let s = probe.probe(&[1.0, 2.0, 3.0], |_| 42.0);
+        assert_eq!(s.max_deviation, 0.0);
+        assert_eq!(s.output_std, 0.0);
+        assert_eq!(s.gain(0.1), 0.0);
+    }
+
+    #[test]
+    fn zero_features_get_additive_noise() {
+        let mut probe = SensitivityProbe::new("m", 0.1, 8, 4);
+        // Model reads the (zero) feature directly; multiplicative noise
+        // would leave it exactly zero, additive floor must move it.
+        let s = probe.probe(&[0.0], |x| x[0] * 100.0);
+        assert!(s.max_deviation > 0.0);
+    }
+
+    #[test]
+    fn publish_writes_keys() {
+        let mut probe = SensitivityProbe::new("cc_model", 0.05, 8, 5);
+        let store = FeatureStore::new();
+        probe.probe_and_publish(&[1.0], |x| x[0], &store, Nanos::ZERO);
+        assert!(store.load("cc_model.sensitivity").is_some());
+        assert!(store.load("cc_model.gain").is_some());
+        assert_eq!(probe.noise(), 0.05);
+    }
+
+    #[test]
+    fn gain_handles_zero_noise_query() {
+        let s = Sensitivity {
+            base_output: 0.0,
+            max_deviation: 1.0,
+            output_std: 0.5,
+        };
+        assert_eq!(s.gain(0.0), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Exponentially weighted moving averages.
+
+/// An EWMA accumulator: `v ← alpha * x + (1 - alpha) * v`.
+///
+/// Cheaper than a windowed series (O(1) state) and therefore the right
+/// aggregation for high-rate guardrail inputs where even a bounded series
+/// would be too much per-event work — one of the design choices the ablation
+/// benches compare (DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::store::ewma::Ewma;
+///
+/// let mut e = Ewma::new(0.5);
+/// e.update(10.0);
+/// e.update(20.0);
+/// assert_eq!(e.value(), 15.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` clamped to `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(1e-6, 1.0),
+            value: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Folds in an observation; the first observation seeds the average.
+    pub fn update(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.initialized {
+            self.value = self.alpha * x + (1.0 - self.alpha) * self.value;
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+    }
+
+    /// The current average (0 before any observation).
+    pub fn value(&self) -> f64 {
+        if self.initialized {
+            self.value
+        } else {
+            0.0
+        }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Returns `true` once at least one observation has been folded in.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_seeds() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), 0.0);
+        assert!(!e.is_initialized());
+        e.update(42.0);
+        assert_eq!(e.value(), 42.0);
+        assert!(e.is_initialized());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.update(7.0);
+        }
+        assert!((e.value() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        assert_eq!(Ewma::new(5.0).alpha(), 1.0);
+        assert!(Ewma::new(-1.0).alpha() > 0.0);
+        // Alpha 1 means "latest value wins".
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(9.0);
+        assert_eq!(e.value(), 9.0);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut e = Ewma::new(0.5);
+        e.update(f64::NAN);
+        assert!(!e.is_initialized());
+        e.update(3.0);
+        e.update(f64::INFINITY);
+        assert_eq!(e.value(), 3.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The global feature store (§4.3 of the paper).
+//!
+//! Guardrails need system-wide metrics aggregated "over time or across many
+//! function invocations"; relying on local variables would force logic to be
+//! replicated across guardrail instances. The feature store is the shared,
+//! lightweight alternative: a flat key space accessed via `SAVE(key, value)`
+//! and `LOAD(key)` from specs, plus `record`/`incr`/EWMA/histogram entry
+//! points for instrumented kernel code.
+//!
+//! The store is sharded and internally locked so that subsystem simulations
+//! (writers) and monitors (readers) can share one `Arc<FeatureStore>`.
+
+pub mod ewma;
+pub mod histogram;
+pub mod window;
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::RwLock;
+use simkernel::Nanos;
+
+use crate::spec::ast::AggKind;
+use ewma::Ewma;
+use histogram::Histogram;
+use window::WindowSeries;
+
+/// Number of lock shards; power of two, sized for low contention at the
+/// handful-of-writer-threads scale of an OS's instrumented subsystems.
+const SHARDS: usize = 16;
+
+#[derive(Debug)]
+enum Entry {
+    Scalar(f64),
+    Series(WindowSeries),
+    Ewma(Ewma),
+    Histogram(Histogram),
+}
+
+/// The sharded global feature store.
+///
+/// Keys are flat strings (`false_submit_rate`, `sched.wait_p99`, ...). Each
+/// key holds one entry kind — scalar, windowed series, EWMA, or histogram —
+/// determined by the first operation that touches it. `SAVE` always coerces
+/// the key to a scalar (last-writer-wins, like the paper's Listing 2 flag
+/// `ml_enabled`); structured entries are never silently coerced by reads.
+///
+/// # Examples
+///
+/// ```
+/// use guardrails::FeatureStore;
+/// use guardrails::spec::ast::AggKind;
+/// use simkernel::Nanos;
+///
+/// let store = FeatureStore::new();
+/// store.save("ml_enabled", 1.0);
+/// assert_eq!(store.load("ml_enabled"), Some(1.0));
+/// store.record("lat", Nanos::from_secs(1), 100.0);
+/// store.record("lat", Nanos::from_secs(2), 300.0);
+/// let avg = store.aggregate(AggKind::Avg, "lat", Nanos::from_secs(10), Nanos::from_secs(2));
+/// assert_eq!(avg, 200.0);
+/// ```
+#[derive(Debug)]
+pub struct FeatureStore {
+    shards: Vec<RwLock<HashMap<String, Entry>>>,
+    series_retention: Nanos,
+    series_max_samples: usize,
+}
+
+impl Default for FeatureStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FeatureStore {
+    /// Creates a store with default series bounds.
+    pub fn new() -> Self {
+        Self::with_series_bounds(
+            WindowSeries::DEFAULT_RETENTION,
+            WindowSeries::DEFAULT_MAX_SAMPLES,
+        )
+    }
+
+    /// Creates a store whose auto-created series use the given bounds.
+    pub fn with_series_bounds(retention: Nanos, max_samples: usize) -> Self {
+        FeatureStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            series_retention: retention,
+            series_max_samples: max_samples,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// `SAVE(key, value)`: writes a scalar, replacing any existing entry.
+    pub fn save(&self, key: &str, value: f64) {
+        self.shard(key)
+            .write()
+            .insert(key.to_string(), Entry::Scalar(value));
+    }
+
+    /// `LOAD(key)`: reads a scalar. Series read their most recent sample,
+    /// EWMAs their current value, histograms their count. Missing keys read
+    /// `None` (the VM treats that as 0, keeping rules total).
+    pub fn load(&self, key: &str) -> Option<f64> {
+        let guard = self.shard(key).read();
+        match guard.get(key)? {
+            Entry::Scalar(v) => Some(*v),
+            Entry::Series(s) => s.last(),
+            Entry::Ewma(e) => Some(e.value()),
+            Entry::Histogram(h) => Some(h.count() as f64),
+        }
+    }
+
+    /// Reads `key` as a boolean flag: absent or zero is `false`.
+    pub fn flag(&self, key: &str) -> bool {
+        self.load(key).is_some_and(|v| v != 0.0)
+    }
+
+    /// Atomically increments a scalar by `by` (creating it at 0), returning
+    /// the new value.
+    pub fn incr(&self, key: &str, by: f64) -> f64 {
+        let mut guard = self.shard(key).write();
+        let entry = guard
+            .entry(key.to_string())
+            .or_insert(Entry::Scalar(0.0));
+        match entry {
+            Entry::Scalar(v) => {
+                *v += by;
+                *v
+            }
+            _ => {
+                // Counting into a structured entry replaces it; mixed usage
+                // of one key is a spec bug, and scalar-wins keeps it visible.
+                *entry = Entry::Scalar(by);
+                by
+            }
+        }
+    }
+
+    /// `RECORD(key, value)`: appends a timestamped sample to a windowed
+    /// series (creating it with the store's default bounds).
+    pub fn record(&self, key: &str, now: Nanos, value: f64) {
+        let mut guard = self.shard(key).write();
+        let retention = self.series_retention;
+        let max = self.series_max_samples;
+        let entry = guard
+            .entry(key.to_string())
+            .or_insert_with(|| Entry::Series(WindowSeries::new(retention, max)));
+        match entry {
+            Entry::Series(s) => s.push(now, value),
+            _ => {
+                let mut s = WindowSeries::new(retention, max);
+                s.push(now, value);
+                *entry = Entry::Series(s);
+            }
+        }
+    }
+
+    /// Computes a windowed aggregate over the series at `key`; 0 for missing
+    /// or non-series keys.
+    pub fn aggregate(&self, kind: AggKind, key: &str, window: Nanos, now: Nanos) -> f64 {
+        let guard = self.shard(key).read();
+        match guard.get(key) {
+            Some(Entry::Series(s)) => s.aggregate(kind, window, now),
+            _ => 0.0,
+        }
+    }
+
+    /// Computes a windowed quantile over the series at `key`; 0 for missing
+    /// or non-series keys.
+    pub fn quantile(&self, key: &str, q: f64, window: Nanos, now: Nanos) -> f64 {
+        let guard = self.shard(key).read();
+        match guard.get(key) {
+            Some(Entry::Series(s)) => s.quantile(q, window, now),
+            _ => 0.0,
+        }
+    }
+
+    /// Updates the EWMA at `key` with smoothing `alpha` (creating it).
+    pub fn ewma_update(&self, key: &str, value: f64, alpha: f64) {
+        let mut guard = self.shard(key).write();
+        let entry = guard
+            .entry(key.to_string())
+            .or_insert_with(|| Entry::Ewma(Ewma::new(alpha)));
+        match entry {
+            Entry::Ewma(e) => e.update(value),
+            _ => {
+                let mut e = Ewma::new(alpha);
+                e.update(value);
+                *entry = Entry::Ewma(e);
+            }
+        }
+    }
+
+    /// Reads the EWMA value at `key`; 0 for missing or non-EWMA keys.
+    pub fn ewma(&self, key: &str) -> f64 {
+        let guard = self.shard(key).read();
+        match guard.get(key) {
+            Some(Entry::Ewma(e)) => e.value(),
+            _ => 0.0,
+        }
+    }
+
+    /// Records a value into the histogram at `key` (creating it).
+    pub fn hist_observe(&self, key: &str, value: f64) {
+        let mut guard = self.shard(key).write();
+        let entry = guard
+            .entry(key.to_string())
+            .or_insert_with(|| Entry::Histogram(Histogram::new()));
+        match entry {
+            Entry::Histogram(h) => h.observe(value),
+            _ => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                *entry = Entry::Histogram(h);
+            }
+        }
+    }
+
+    /// Reads the `q`-quantile of the histogram at `key`; 0 when missing.
+    pub fn hist_quantile(&self, key: &str, q: f64) -> f64 {
+        let guard = self.shard(key).read();
+        match guard.get(key) {
+            Some(Entry::Histogram(h)) => h.quantile(q),
+            _ => 0.0,
+        }
+    }
+
+    /// Reads the mean of the histogram at `key`; 0 when missing.
+    pub fn hist_mean(&self, key: &str) -> f64 {
+        let guard = self.shard(key).read();
+        match guard.get(key) {
+            Some(Entry::Histogram(h)) => h.mean(),
+            _ => 0.0,
+        }
+    }
+
+    /// Removes the entry at `key`, returning `true` if it existed.
+    pub fn remove(&self, key: &str) -> bool {
+        self.shard(key).write().remove(key).is_some()
+    }
+
+    /// Number of keys currently present.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Returns `true` when the store has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sorted snapshot of all keys (diagnostics / REPORT dumps).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = FeatureStore::new();
+        assert_eq!(store.load("missing"), None);
+        store.save("x", 1.5);
+        assert_eq!(store.load("x"), Some(1.5));
+        store.save("x", 2.5);
+        assert_eq!(store.load("x"), Some(2.5));
+    }
+
+    #[test]
+    fn flags() {
+        let store = FeatureStore::new();
+        assert!(!store.flag("ml_enabled"));
+        store.save("ml_enabled", 1.0);
+        assert!(store.flag("ml_enabled"));
+        store.save("ml_enabled", 0.0);
+        assert!(!store.flag("ml_enabled"));
+    }
+
+    #[test]
+    fn incr_accumulates() {
+        let store = FeatureStore::new();
+        assert_eq!(store.incr("c", 1.0), 1.0);
+        assert_eq!(store.incr("c", 2.0), 3.0);
+        assert_eq!(store.load("c"), Some(3.0));
+    }
+
+    #[test]
+    fn series_aggregate_and_load() {
+        let store = FeatureStore::new();
+        store.record("lat", Nanos::from_secs(1), 10.0);
+        store.record("lat", Nanos::from_secs(2), 30.0);
+        assert_eq!(store.load("lat"), Some(30.0), "LOAD reads the last sample");
+        assert_eq!(
+            store.aggregate(AggKind::Sum, "lat", Nanos::from_secs(10), Nanos::from_secs(2)),
+            40.0
+        );
+        assert_eq!(
+            store.quantile("lat", 0.5, Nanos::from_secs(10), Nanos::from_secs(2)),
+            20.0
+        );
+        // Aggregates over scalars or missing keys are 0.
+        store.save("s", 5.0);
+        assert_eq!(
+            store.aggregate(AggKind::Avg, "s", Nanos::from_secs(1), Nanos::from_secs(1)),
+            0.0
+        );
+        assert_eq!(
+            store.aggregate(AggKind::Avg, "nope", Nanos::from_secs(1), Nanos::from_secs(1)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn save_overwrites_series() {
+        let store = FeatureStore::new();
+        store.record("k", Nanos::ZERO, 1.0);
+        store.save("k", 9.0);
+        assert_eq!(store.load("k"), Some(9.0));
+        assert_eq!(
+            store.aggregate(AggKind::Count, "k", Nanos::from_secs(1), Nanos::ZERO),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ewma_and_histogram_paths() {
+        let store = FeatureStore::new();
+        store.ewma_update("e", 10.0, 0.5);
+        store.ewma_update("e", 20.0, 0.5);
+        assert_eq!(store.ewma("e"), 15.0);
+        assert_eq!(store.ewma("missing"), 0.0);
+
+        for v in [100.0, 200.0, 300.0] {
+            store.hist_observe("h", v);
+        }
+        assert_eq!(store.hist_mean("h"), 200.0);
+        assert!(store.hist_quantile("h", 0.5) > 100.0);
+        assert_eq!(store.hist_quantile("missing", 0.5), 0.0);
+    }
+
+    #[test]
+    fn keys_and_remove() {
+        let store = FeatureStore::new();
+        store.save("b", 1.0);
+        store.save("a", 1.0);
+        assert_eq!(store.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(store.len(), 2);
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let store = Arc::new(FeatureStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    s.incr("shared", 1.0);
+                    s.save(&format!("t{t}"), i as f64);
+                    let _ = s.load("shared");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.load("shared"), Some(4000.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! Tiered-memory substrate: the P3 (out-of-bounds outputs) and P4
+//! (decision quality) settings.
+//!
+//! Figure 1 assigns memory allocation the out-of-bounds property ("ensure
+//! allocation by the model is within available memory") and §2 cites
+//! learned data-placement engines (Kleio, Sibyl) that "perform poorly if
+//! the workload is write-intensive and has random access pattern". This
+//! crate reproduces both:
+//!
+//! - [`tiers`]: a two-tier memory (fast DRAM frames + slow tier) with
+//!   explicit frame placement, migration costs, and bounds checking;
+//! - [`policy`]: a 2Q-style heuristic placement baseline and a learned
+//!   placement policy (online logistic hotness predictor plus a regression
+//!   "learned placement function" for frame choice that extrapolates out of
+//!   bounds under address-space drift — the P3 hazard);
+//! - [`workload`]: scan-plus-hotset and random-write access patterns with a
+//!   mid-run phase shift;
+//! - [`sim`]: scenarios wiring the P3 FUNCTION-trigger guardrail and the P4
+//!   windowed hit-rate guardrail to the monitor engine.
+
+#![warn(missing_docs)]
+
+pub mod huge;
+pub mod policy;
+pub mod sim;
+pub mod tiers;
+pub mod workload;
+
+pub use huge::{run_huge_sim, HugeReport, HugeSimConfig, ThpPolicy};
+pub use policy::{HeuristicPlacement, LearnedPlacement, PageStats, Placement};
+pub use sim::{run_tiering_sim, TieringReport, TieringSimConfig};
+pub use tiers::{PageId, TieredMemory};
+pub use workload::{AccessKind, MemAccess, MemWorkload, MemWorkloadConfig};

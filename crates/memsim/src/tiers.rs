@@ -1,0 +1,229 @@
+//! A two-tier memory with explicit fast-tier frames.
+
+use std::collections::HashMap;
+
+use simkernel::Nanos;
+
+/// A page identifier (virtual page number).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Why a placement request was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The frame index is outside the fast tier (the P3 violation).
+    OutOfBounds {
+        /// The requested frame.
+        frame: usize,
+        /// The number of frames that exist.
+        capacity: usize,
+    },
+}
+
+/// The result of one access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessResult {
+    /// Access latency.
+    pub latency: Nanos,
+    /// Whether the page was served from the fast tier.
+    pub fast_hit: bool,
+}
+
+/// A two-tier memory: a bounded array of fast frames over an unbounded
+/// slow tier.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{PageId, TieredMemory};
+///
+/// let mut mem = TieredMemory::new(4);
+/// assert!(!mem.access(PageId(1)).fast_hit);
+/// mem.place(PageId(1), 0).unwrap();
+/// assert!(mem.access(PageId(1)).fast_hit);
+/// assert!(mem.place(PageId(2), 99).is_err()); // P3: out of bounds.
+/// ```
+#[derive(Debug)]
+pub struct TieredMemory {
+    frames: Vec<Option<PageId>>,
+    location: HashMap<PageId, usize>,
+    /// Monotone use-stamps per frame for LRU decisions.
+    stamps: Vec<u64>,
+    tick: u64,
+    fast_latency: Nanos,
+    slow_latency: Nanos,
+    migration_cost: Nanos,
+    migrations: u64,
+    rejected: u64,
+}
+
+impl TieredMemory {
+    /// Creates a memory with `fast_frames` fast-tier frames.
+    pub fn new(fast_frames: usize) -> Self {
+        TieredMemory {
+            frames: vec![None; fast_frames],
+            location: HashMap::new(),
+            stamps: vec![0; fast_frames],
+            tick: 0,
+            fast_latency: Nanos::from_nanos(100),
+            slow_latency: Nanos::from_nanos(900),
+            migration_cost: Nanos::from_micros(2),
+            migrations: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Number of fast frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Accesses `page`, returning latency and hit/miss.
+    pub fn access(&mut self, page: PageId) -> AccessResult {
+        self.tick += 1;
+        if let Some(&frame) = self.location.get(&page) {
+            self.stamps[frame] = self.tick;
+            AccessResult {
+                latency: self.fast_latency,
+                fast_hit: true,
+            }
+        } else {
+            AccessResult {
+                latency: self.slow_latency,
+                fast_hit: false,
+            }
+        }
+    }
+
+    /// Places `page` into fast frame `frame`, evicting any occupant.
+    ///
+    /// Returns the migration cost on success; an out-of-bounds frame is
+    /// rejected (and counted) — the memory protects itself, the guardrail's
+    /// job is to stop the *policy* producing such requests.
+    pub fn place(&mut self, page: PageId, frame: usize) -> Result<Nanos, PlaceError> {
+        if frame >= self.frames.len() {
+            self.rejected += 1;
+            return Err(PlaceError::OutOfBounds {
+                frame,
+                capacity: self.frames.len(),
+            });
+        }
+        if self.location.get(&page) == Some(&frame) {
+            return Ok(Nanos::ZERO);
+        }
+        if let Some(old) = self.frames[frame] {
+            self.location.remove(&old);
+        }
+        if let Some(&prev) = self.location.get(&page) {
+            self.frames[prev] = None;
+        }
+        self.frames[frame] = Some(page);
+        self.location.insert(page, frame);
+        self.stamps[frame] = self.tick;
+        self.migrations += 1;
+        Ok(self.migration_cost)
+    }
+
+    /// The least-recently-used frame (the safe default eviction choice).
+    pub fn lru_frame(&self) -> usize {
+        // Prefer an empty frame outright.
+        if let Some(i) = self.frames.iter().position(Option::is_none) {
+            return i;
+        }
+        self.stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Whether `page` currently resides in the fast tier.
+    pub fn is_fast(&self, page: PageId) -> bool {
+        self.location.contains_key(&page)
+    }
+
+    /// Total migrations performed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Total out-of-bounds placements rejected.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Fast/slow access latencies (for reports).
+    pub fn latencies(&self) -> (Nanos, Nanos) {
+        (self.fast_latency, self.slow_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_miss_then_hit_after_place() {
+        let mut mem = TieredMemory::new(2);
+        let miss = mem.access(PageId(5));
+        assert!(!miss.fast_hit);
+        assert_eq!(miss.latency, Nanos::from_nanos(900));
+        mem.place(PageId(5), 1).unwrap();
+        let hit = mem.access(PageId(5));
+        assert!(hit.fast_hit);
+        assert_eq!(hit.latency, Nanos::from_nanos(100));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected_and_counted() {
+        let mut mem = TieredMemory::new(2);
+        let err = mem.place(PageId(1), 2).unwrap_err();
+        assert_eq!(err, PlaceError::OutOfBounds { frame: 2, capacity: 2 });
+        assert_eq!(mem.rejected(), 1);
+        assert!(!mem.is_fast(PageId(1)));
+    }
+
+    #[test]
+    fn placement_evicts_occupant() {
+        let mut mem = TieredMemory::new(1);
+        mem.place(PageId(1), 0).unwrap();
+        mem.place(PageId(2), 0).unwrap();
+        assert!(!mem.is_fast(PageId(1)));
+        assert!(mem.is_fast(PageId(2)));
+        assert_eq!(mem.migrations(), 2);
+    }
+
+    #[test]
+    fn replacing_a_page_in_place_is_free() {
+        let mut mem = TieredMemory::new(2);
+        mem.place(PageId(1), 0).unwrap();
+        assert_eq!(mem.place(PageId(1), 0).unwrap(), Nanos::ZERO);
+        assert_eq!(mem.migrations(), 1);
+    }
+
+    #[test]
+    fn moving_a_page_clears_its_old_frame() {
+        let mut mem = TieredMemory::new(2);
+        mem.place(PageId(1), 0).unwrap();
+        mem.place(PageId(1), 1).unwrap();
+        assert!(mem.is_fast(PageId(1)));
+        // Frame 0 is free again: a new page placed there evicts nothing.
+        mem.place(PageId(2), 0).unwrap();
+        assert!(mem.is_fast(PageId(1)));
+        assert!(mem.is_fast(PageId(2)));
+    }
+
+    #[test]
+    fn lru_frame_tracks_recency() {
+        let mut mem = TieredMemory::new(2);
+        assert_eq!(mem.lru_frame(), 0, "empty frames first");
+        mem.place(PageId(1), 0).unwrap();
+        assert_eq!(mem.lru_frame(), 1, "remaining empty frame");
+        mem.place(PageId(2), 1).unwrap();
+        mem.access(PageId(1)); // Frame 0 is now more recent.
+        assert_eq!(mem.lru_frame(), 1);
+        mem.access(PageId(2));
+        assert_eq!(mem.lru_frame(), 0);
+    }
+}

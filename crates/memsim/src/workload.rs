@@ -1,0 +1,168 @@
+//! Memory access pattern generators with a mid-run phase shift.
+
+use simkernel::DetRng;
+
+use crate::tiers::PageId;
+
+/// Whether an access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// One memory access.
+#[derive(Clone, Copy, Debug)]
+pub struct MemAccess {
+    /// The page touched.
+    pub page: PageId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Configuration of the access stream.
+#[derive(Clone, Copy, Debug)]
+pub struct MemWorkloadConfig {
+    /// Pages in the hot set.
+    pub hot_pages: u64,
+    /// Pages covered by the cyclic scan.
+    pub scan_pages: u64,
+    /// Fraction of accesses hitting the hot set (rest scan).
+    pub hot_fraction: f64,
+    /// Zipf skew within the hot set.
+    pub hot_skew: f64,
+    /// Write fraction.
+    pub write_fraction: f64,
+    /// Base page id offset (phase shifts move the address space).
+    pub base_page: u64,
+}
+
+impl MemWorkloadConfig {
+    /// Phase 1: a skewed hot set plus a cyclic scan — the pattern where a
+    /// frequency-aware learned placer beats plain recency (LRU thrashes on
+    /// the scan).
+    pub fn hot_plus_scan(fast_frames: u64) -> Self {
+        MemWorkloadConfig {
+            hot_pages: fast_frames,
+            scan_pages: fast_frames * 4,
+            hot_fraction: 0.7,
+            hot_skew: 0.9,
+            write_fraction: 0.1,
+            base_page: 0,
+        }
+    }
+
+    /// Phase 2: write-intensive uniform-random traffic over a *new* address
+    /// range — the pattern §2 cites as defeating learned placement, and the
+    /// address-space drift that makes a learned placement function
+    /// extrapolate out of bounds (P3).
+    pub fn random_write(fast_frames: u64) -> Self {
+        MemWorkloadConfig {
+            hot_pages: fast_frames * 2,
+            scan_pages: 0,
+            hot_fraction: 1.0,
+            hot_skew: 0.0,
+            write_fraction: 0.8,
+            base_page: 1 << 32,
+        }
+    }
+}
+
+/// The access stream generator.
+#[derive(Clone, Debug)]
+pub struct MemWorkload {
+    config: MemWorkloadConfig,
+    rng: DetRng,
+    scan_cursor: u64,
+}
+
+impl MemWorkload {
+    /// Creates a generator.
+    pub fn new(config: MemWorkloadConfig, seed: u64) -> Self {
+        MemWorkload {
+            config,
+            rng: DetRng::seed(seed),
+            scan_cursor: 0,
+        }
+    }
+
+    /// Switches the pattern mid-run.
+    pub fn set_config(&mut self, config: MemWorkloadConfig) {
+        self.config = config;
+        self.scan_cursor = 0;
+    }
+
+    /// Generates the next access.
+    pub fn next_access(&mut self) -> MemAccess {
+        let c = &self.config;
+        let page = if self.rng.chance(c.hot_fraction) || c.scan_pages == 0 {
+            let idx = self.rng.zipf(c.hot_pages.max(1) as usize, c.hot_skew) as u64;
+            PageId(c.base_page + idx)
+        } else {
+            self.scan_cursor = (self.scan_cursor + 1) % c.scan_pages.max(1);
+            PageId(c.base_page + c.hot_pages + self.scan_cursor)
+        };
+        let kind = if self.rng.chance(c.write_fraction) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        MemAccess { page, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_fraction_is_respected() {
+        let c = MemWorkloadConfig::hot_plus_scan(128);
+        let mut w = MemWorkload::new(c, 1);
+        let mut hot = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if w.next_access().page.0 < c.hot_pages {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.03, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn scan_is_cyclic() {
+        let mut c = MemWorkloadConfig::hot_plus_scan(8);
+        c.hot_fraction = 0.0;
+        let mut w = MemWorkload::new(c, 2);
+        let first: Vec<u64> = (0..c.scan_pages).map(|_| w.next_access().page.0).collect();
+        let second: Vec<u64> = (0..c.scan_pages).map(|_| w.next_access().page.0).collect();
+        assert_eq!(first, second, "scan repeats");
+    }
+
+    #[test]
+    fn random_write_phase_uses_new_address_range() {
+        let c = MemWorkloadConfig::random_write(128);
+        let mut w = MemWorkload::new(c, 3);
+        let mut writes = 0;
+        for _ in 0..5_000 {
+            let a = w.next_access();
+            assert!(a.page.0 >= 1 << 32, "new address space");
+            if a.kind == AccessKind::Write {
+                writes += 1;
+            }
+        }
+        assert!(writes > 3_500, "write-intensive: {writes}/5000");
+    }
+
+    #[test]
+    fn phase_shift_changes_pages() {
+        let mut w = MemWorkload::new(MemWorkloadConfig::hot_plus_scan(64), 4);
+        let before = w.next_access().page.0;
+        w.set_config(MemWorkloadConfig::random_write(64));
+        let after = w.next_access().page.0;
+        assert!(before < after);
+    }
+}

@@ -1,0 +1,239 @@
+//! Multi-armed bandits for online decision policies.
+//!
+//! The learned congestion controller and the learned cache policy use
+//! bandit-style online learning: cheap enough for a datapath, and — unlike a
+//! pre-trained network — able to keep adapting, which creates exactly the
+//! exploration-induced misbehaviour guardrails must bound.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An ε-greedy bandit over `arms` discrete actions.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::EpsilonGreedy;
+///
+/// let mut b = EpsilonGreedy::new(3, 0.1, 7);
+/// for _ in 0..500 {
+///     let arm = b.select();
+///     // Arm 2 is the best.
+///     let reward = if arm == 2 { 1.0 } else { 0.0 };
+///     b.update(arm, reward);
+/// }
+/// assert_eq!(b.best_arm(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    counts: Vec<u64>,
+    values: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl EpsilonGreedy {
+    /// Creates a bandit with exploration rate `epsilon` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms == 0`.
+    pub fn new(arms: usize, epsilon: f64, seed: u64) -> Self {
+        assert!(arms > 0, "need at least one arm");
+        EpsilonGreedy {
+            epsilon: epsilon.clamp(0.0, 1.0),
+            counts: vec![0; arms],
+            values: vec![0.0; arms],
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of arms.
+    pub fn arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Selects an arm: explores with probability ε, exploits otherwise.
+    pub fn select(&mut self) -> usize {
+        if self.rng.gen::<f64>() < self.epsilon {
+            self.rng.gen_range(0..self.counts.len())
+        } else {
+            self.best_arm()
+        }
+    }
+
+    /// Returns the arm with the highest estimated value.
+    pub fn best_arm(&self) -> usize {
+        self.values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("values are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Folds a reward observation for `arm` into its running mean.
+    pub fn update(&mut self, arm: usize, reward: f64) {
+        if arm >= self.counts.len() || !reward.is_finite() {
+            return;
+        }
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.values[arm] += (reward - self.values[arm]) / n;
+    }
+
+    /// Returns the estimated value of `arm`.
+    pub fn value(&self, arm: usize) -> f64 {
+        self.values.get(arm).copied().unwrap_or(0.0)
+    }
+
+    /// Resets all estimates (fresh retrain).
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sets the exploration rate (a guardrail action can throttle exploration).
+    pub fn set_epsilon(&mut self, epsilon: f64) {
+        self.epsilon = epsilon.clamp(0.0, 1.0);
+    }
+}
+
+/// UCB1: optimism-in-the-face-of-uncertainty arm selection.
+#[derive(Clone, Debug)]
+pub struct Ucb1 {
+    counts: Vec<u64>,
+    values: Vec<f64>,
+    total: u64,
+}
+
+impl Ucb1 {
+    /// Creates a UCB1 bandit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms == 0`.
+    pub fn new(arms: usize) -> Self {
+        assert!(arms > 0, "need at least one arm");
+        Ucb1 {
+            counts: vec![0; arms],
+            values: vec![0.0; arms],
+            total: 0,
+        }
+    }
+
+    /// Selects the arm with the highest upper confidence bound; unexplored
+    /// arms are tried first in index order.
+    pub fn select(&self) -> usize {
+        if let Some(i) = self.counts.iter().position(|&c| c == 0) {
+            return i;
+        }
+        let ln_t = (self.total as f64).ln();
+        self.counts
+            .iter()
+            .zip(&self.values)
+            .enumerate()
+            .map(|(i, (&c, &v))| (i, v + (2.0 * ln_t / c as f64).sqrt()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ucb is finite"))
+            .map(|(i, _)| i)
+            .expect("at least one arm")
+    }
+
+    /// Folds a reward observation for `arm` into its running mean.
+    pub fn update(&mut self, arm: usize, reward: f64) {
+        if arm >= self.counts.len() || !reward.is_finite() {
+            return;
+        }
+        self.total += 1;
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.values[arm] += (reward - self.values[arm]) / n;
+    }
+
+    /// Returns the empirical mean reward of `arm`.
+    pub fn value(&self, arm: usize) -> f64 {
+        self.values.get(arm).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_zero_is_pure_exploitation() {
+        let mut b = EpsilonGreedy::new(2, 0.0, 1);
+        b.update(1, 1.0);
+        for _ in 0..50 {
+            assert_eq!(b.select(), 1);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_explores_every_arm() {
+        let mut b = EpsilonGreedy::new(4, 1.0, 2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[b.select()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn update_ignores_bad_input() {
+        let mut b = EpsilonGreedy::new(2, 0.0, 1);
+        b.update(99, 1.0);
+        b.update(0, f64::NAN);
+        assert_eq!(b.value(0), 0.0);
+        assert_eq!(b.value(99), 0.0);
+    }
+
+    #[test]
+    fn reset_and_set_epsilon() {
+        let mut b = EpsilonGreedy::new(2, 0.5, 1);
+        b.update(0, 5.0);
+        b.reset();
+        assert_eq!(b.value(0), 0.0);
+        b.set_epsilon(2.0);
+        // Clamped to 1.0: always explores, so both arms appear.
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[b.select()] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn ucb_tries_all_arms_first() {
+        let mut b = Ucb1::new(3);
+        assert_eq!(b.select(), 0);
+        b.update(0, 0.0);
+        assert_eq!(b.select(), 1);
+        b.update(1, 0.0);
+        assert_eq!(b.select(), 2);
+    }
+
+    #[test]
+    fn ucb_converges_to_best_arm() {
+        let mut b = Ucb1::new(3);
+        // Deterministic rewards: arm 1 best.
+        for _ in 0..300 {
+            let arm = b.select();
+            let reward = match arm {
+                0 => 0.2,
+                1 => 0.9,
+                _ => 0.4,
+            };
+            b.update(arm, reward);
+        }
+        assert!((b.value(1) - 0.9).abs() < 1e-9);
+        // The vast majority of late pulls go to arm 1.
+        let mut pulls = [0u32; 3];
+        for _ in 0..100 {
+            let arm = b.select();
+            pulls[arm] += 1;
+            b.update(arm, if arm == 1 { 0.9 } else { 0.3 });
+        }
+        assert!(pulls[1] > 80, "pulls {pulls:?}");
+    }
+}

@@ -1,0 +1,219 @@
+//! A small in-memory dataset with shuffling, splitting, and batching.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Matrix;
+
+/// A labelled dataset of `f64` feature rows.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::Dataset;
+///
+/// let mut ds = Dataset::new(2, 1);
+/// ds.push(&[0.0, 1.0], &[1.0]);
+/// ds.push(&[1.0, 0.0], &[0.0]);
+/// let (train, test) = ds.split(0.5, 42);
+/// assert_eq!(train.len() + test.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    features: usize,
+    targets: usize,
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature and target widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero.
+    pub fn new(features: usize, targets: usize) -> Self {
+        assert!(features > 0 && targets > 0, "widths must be positive");
+        Dataset {
+            features,
+            targets,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn push(&mut self, features: &[f64], targets: &[f64]) {
+        assert_eq!(features.len(), self.features, "feature width mismatch");
+        assert_eq!(targets.len(), self.targets, "target width mismatch");
+        self.x.extend_from_slice(features);
+        self.y.extend_from_slice(targets);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len() / self.features
+    }
+
+    /// Returns `true` when the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature width.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Returns example `i` as `(features, targets)`.
+    pub fn get(&self, i: usize) -> (&[f64], &[f64]) {
+        (
+            &self.x[i * self.features..(i + 1) * self.features],
+            &self.y[i * self.targets..(i + 1) * self.targets],
+        )
+    }
+
+    /// Returns the whole dataset as a pair of matrices.
+    pub fn to_matrices(&self) -> (Matrix, Matrix) {
+        (
+            Matrix::from_vec(self.len(), self.features, self.x.clone()),
+            Matrix::from_vec(self.len(), self.targets, self.y.clone()),
+        )
+    }
+
+    /// Shuffles examples in place, deterministically for a given seed.
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = self.len();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for k in 0..self.features {
+            self.x.swap(i * self.features + k, j * self.features + k);
+        }
+        for k in 0..self.targets {
+            self.y.swap(i * self.targets + k, j * self.targets + k);
+        }
+    }
+
+    /// Splits into `(train, test)` after a deterministic shuffle;
+    /// `train_fraction` is clamped to `[0, 1]`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut shuffled = self.clone();
+        shuffled.shuffle(seed);
+        let n_train = (shuffled.len() as f64 * train_fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut train = Dataset::new(self.features, self.targets);
+        let mut test = Dataset::new(self.features, self.targets);
+        for i in 0..shuffled.len() {
+            let (x, y) = shuffled.get(i);
+            if i < n_train {
+                train.push(x, y);
+            } else {
+                test.push(x, y);
+            }
+        }
+        (train, test)
+    }
+
+    /// Iterates minibatches of up to `batch_size` examples as matrix pairs.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Matrix, Matrix)> + '_ {
+        let bs = batch_size.max(1);
+        let n = self.len();
+        (0..n.div_ceil(bs)).map(move |b| {
+            let start = b * bs;
+            let end = (start + bs).min(n);
+            let x = self.x[start * self.features..end * self.features].to_vec();
+            let y = self.y[start * self.targets..end * self.targets].to_vec();
+            (
+                Matrix::from_vec(end - start, self.features, x),
+                Matrix::from_vec(end - start, self.targets, y),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Dataset {
+        let mut ds = Dataset::new(2, 1);
+        for i in 0..n {
+            ds.push(&[i as f64, (2 * i) as f64], &[(i % 2) as f64]);
+        }
+        ds
+    }
+
+    #[test]
+    fn push_get_round_trip() {
+        let ds = sample(5);
+        assert_eq!(ds.len(), 5);
+        let (x, y) = ds.get(3);
+        assert_eq!(x, &[3.0, 6.0]);
+        assert_eq!(y, &[1.0]);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let mut ds = sample(50);
+        ds.shuffle(9);
+        for i in 0..50 {
+            let (x, y) = ds.get(i);
+            assert_eq!(x[1], 2.0 * x[0], "features travel together");
+            assert_eq!(y[0], (x[0] as u64 % 2) as f64, "label follows features");
+        }
+    }
+
+    #[test]
+    fn split_fractions() {
+        let ds = sample(10);
+        let (train, test) = ds.split(0.7, 1);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        let (all, none) = ds.split(1.5, 1);
+        assert_eq!(all.len(), 10);
+        assert_eq!(none.len(), 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let ds = sample(10);
+        let mut count = 0;
+        for (x, y) in ds.batches(3) {
+            assert_eq!(x.rows(), y.rows());
+            count += x.rows();
+        }
+        assert_eq!(count, 10);
+        // Last batch is the remainder.
+        let sizes: Vec<usize> = ds.batches(3).map(|(x, _)| x.rows()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn to_matrices_shapes() {
+        let ds = sample(4);
+        let (x, y) = ds.to_matrices();
+        assert_eq!((x.rows(), x.cols()), (4, 2));
+        assert_eq!((y.rows(), y.cols()), (4, 1));
+        assert_eq!(ds.features(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_checks_widths() {
+        let mut ds = Dataset::new(2, 1);
+        ds.push(&[1.0], &[0.0]);
+    }
+}

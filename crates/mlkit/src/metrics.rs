@@ -1,0 +1,192 @@
+//! Binary-classification quality metrics.
+//!
+//! The P4 ("decision quality") guardrails compare these statistics against
+//! thresholds — e.g. the paper's example property "accuracy of the classifier
+//! > 90% over a time window of a given size".
+
+/// A 2x2 confusion matrix for a binary classifier.
+///
+/// The positive class is the *event being predicted* — for LinnOS, "this I/O
+/// will be slow".
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new();
+/// cm.record(true, true);   // True positive.
+/// cm.record(false, false); // True negative.
+/// cm.record(true, false);  // False negative.
+/// cm.record(false, true);  // False positive.
+/// assert_eq!(cm.accuracy(), 0.5);
+/// assert_eq!(cm.precision(), 0.5);
+/// assert_eq!(cm.recall(), 0.5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(actual, predicted)` outcome.
+    pub fn record(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Total outcomes recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions (1.0 when empty — vacuously accurate,
+    /// so a guardrail never fires before any decisions exist).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// `tp / (tp + fp)`; 1.0 when no positive predictions were made.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// `tp / (tp + fn)`; 1.0 when no actual positives occurred.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// False-positive rate `fp / (fp + tn)`; 0.0 when no actual negatives.
+    ///
+    /// For LinnOS, a false positive is predicting "slow" for a fast I/O —
+    /// a *false submit* that needlessly fails over to a replica. This is the
+    /// statistic the paper's Listing 2 guardrail bounds.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / denom as f64
+    }
+
+    /// False-negative rate `fn / (fn + tp)`; 0.0 when no actual positives.
+    pub fn false_negative_rate(&self) -> f64 {
+        let denom = self.fn_ + self.tp;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.fn_ as f64 / denom as f64
+    }
+
+    /// Merges counts from another matrix.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Resets all counts.
+    pub fn reset(&mut self) {
+        *self = ConfusionMatrix::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_is_vacuously_perfect() {
+        let cm = ConfusionMatrix::new();
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.false_positive_rate(), 0.0);
+        assert_eq!(cm.false_negative_rate(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let mut cm = ConfusionMatrix::new();
+        for _ in 0..10 {
+            cm.record(true, true);
+            cm.record(false, false);
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+        assert_eq!(cm.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn always_positive_classifier() {
+        let mut cm = ConfusionMatrix::new();
+        for i in 0..10 {
+            cm.record(i < 5, true);
+        }
+        assert_eq!(cm.accuracy(), 0.5);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.precision(), 0.5);
+        assert_eq!(cm.false_positive_rate(), 1.0);
+    }
+
+    #[test]
+    fn f1_zero_when_degenerate() {
+        let mut cm = ConfusionMatrix::new();
+        cm.record(true, false);
+        cm.record(false, true);
+        assert_eq!(cm.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = ConfusionMatrix::new();
+        a.record(true, true);
+        let mut b = ConfusionMatrix::new();
+        b.record(false, true);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.fp, 1);
+        a.reset();
+        assert_eq!(a.total(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! A bounded replay buffer for retraining.
+//!
+//! The `RETRAIN` action (A3) retrains a model "with new out-of-distribution
+//! data" collected online. The buffer keeps the most recent examples up to a
+//! capacity bound, so retraining sees the *current* distribution.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed-capacity FIFO of `(features, label)` training examples.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::ReplayBuffer;
+///
+/// let mut buf = ReplayBuffer::new(2);
+/// buf.push(vec![1.0], 0.0);
+/// buf.push(vec![2.0], 1.0);
+/// buf.push(vec![3.0], 1.0); // Evicts the oldest.
+/// assert_eq!(buf.len(), 2);
+/// assert_eq!(buf.iter().next().unwrap().0, &[2.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: std::collections::VecDeque<(Vec<f64>, f64)>,
+    pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` examples (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer {
+            capacity: capacity.max(1),
+            data: std::collections::VecDeque::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Appends an example, evicting the oldest when full.
+    pub fn push(&mut self, features: Vec<f64>, label: f64) {
+        if self.data.len() == self.capacity {
+            self.data.pop_front();
+        }
+        self.data.push_back((features, label));
+        self.pushed += 1;
+    }
+
+    /// Number of retained examples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when no examples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total examples ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Iterates over retained examples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> {
+        self.data.iter().map(|(x, y)| (x.as_slice(), *y))
+    }
+
+    /// Samples `n` examples uniformly with replacement (deterministic for a
+    /// given seed). Returns fewer only when the buffer is empty.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<(&[f64], f64)> {
+        if self.data.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let i = rng.gen_range(0..self.data.len());
+                let (x, y) = &self.data[i];
+                (x.as_slice(), *y)
+            })
+            .collect()
+    }
+
+    /// Drops all examples.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Fraction of retained labels equal to 1 (class balance diagnostics).
+    pub fn positive_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|(_, y)| *y >= 0.5).count() as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(vec![i as f64], 0.0);
+        }
+        let firsts: Vec<f64> = buf.iter().map(|(x, _)| x[0]).collect();
+        assert_eq!(firsts, vec![2.0, 3.0, 4.0]);
+        assert_eq!(buf.pushed(), 5);
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.push(vec![i as f64], (i % 2) as f64);
+        }
+        let a: Vec<f64> = buf.sample(5, 42).iter().map(|(x, _)| x[0]).collect();
+        let b: Vec<f64> = buf.sample(5, 42).iter().map(|(x, _)| x[0]).collect();
+        assert_eq!(a, b);
+        assert_eq!(buf.sample(5, 42).len(), 5);
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let buf = ReplayBuffer::new(4);
+        assert!(buf.sample(3, 0).is_empty());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn positive_fraction_tracks_balance() {
+        let mut buf = ReplayBuffer::new(4);
+        assert_eq!(buf.positive_fraction(), 0.0);
+        buf.push(vec![0.0], 1.0);
+        buf.push(vec![0.0], 0.0);
+        assert_eq!(buf.positive_fraction(), 0.5);
+        buf.clear();
+        assert_eq!(buf.len(), 0);
+    }
+}

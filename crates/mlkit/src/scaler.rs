@@ -1,0 +1,178 @@
+//! Online per-feature standardization.
+//!
+//! Models are trained on standardized features; the scaler's running
+//! statistics are also the reference distribution that the P1
+//! (in-distribution inputs) guardrail compares live inputs against.
+
+/// Per-feature running mean/variance (Welford) with transform support.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::OnlineScaler;
+///
+/// let mut s = OnlineScaler::new(2);
+/// s.observe(&[1.0, 10.0]);
+/// s.observe(&[3.0, 30.0]);
+/// let z = s.transform(&[2.0, 20.0]);
+/// assert!(z[0].abs() < 1e-9); // At the mean.
+/// assert!(z[1].abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnlineScaler {
+    count: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl OnlineScaler {
+    /// Creates a scaler over `features` dimensions.
+    pub fn new(features: usize) -> Self {
+        OnlineScaler {
+            count: 0,
+            mean: vec![0.0; features],
+            m2: vec![0.0; features],
+        }
+    }
+
+    /// Number of feature dimensions.
+    pub fn features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation into the running statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn observe(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.mean.len(), "feature count mismatch");
+        self.count += 1;
+        let n = self.count as f64;
+        for ((&xi, mean), m2) in x.iter().zip(&mut self.mean).zip(&mut self.m2) {
+            let delta = xi - *mean;
+            *mean += delta / n;
+            *m2 += delta * (xi - *mean);
+        }
+    }
+
+    /// Returns the running mean per feature.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Returns the running standard deviation per feature (1.0 before two
+    /// observations, so early transforms are identity-shifted).
+    pub fn std_dev(&self, feature: usize) -> f64 {
+        if self.count < 2 {
+            return 1.0;
+        }
+        (self.m2[feature] / (self.count - 1) as f64).sqrt().max(1e-9)
+    }
+
+    /// Standardizes `x` to z-scores against the running statistics.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "feature count mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| (v - self.mean[i]) / self.std_dev(i))
+            .collect()
+    }
+
+    /// Observes and transforms in one call.
+    pub fn observe_transform(&mut self, x: &[f64]) -> Vec<f64> {
+        self.observe(x);
+        self.transform(x)
+    }
+
+    /// Returns the largest absolute z-score of `x` under the running
+    /// statistics — a cheap out-of-distribution score for the P1 guardrail.
+    pub fn max_abs_z(&self, x: &[f64]) -> f64 {
+        self.transform(x)
+            .into_iter()
+            .map(f64::abs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Clears all statistics (fresh retrain).
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.mean.iter_mut().for_each(|m| *m = 0.0);
+        self.m2.iter_mut().for_each(|m| *m = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_standardizes() {
+        let mut s = OnlineScaler::new(1);
+        for x in [2.0, 4.0, 6.0, 8.0] {
+            s.observe(&[x]);
+        }
+        assert_eq!(s.mean()[0], 5.0);
+        let z = s.transform(&[5.0]);
+        assert!(z[0].abs() < 1e-12);
+        // One std above the mean maps to z close to 1.
+        let sd = s.std_dev(0);
+        let z1 = s.transform(&[5.0 + sd]);
+        assert!((z1[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_transform_does_not_divide_by_zero() {
+        let mut s = OnlineScaler::new(1);
+        s.observe(&[3.0]);
+        let z = s.transform(&[4.0]);
+        assert_eq!(z[0], 1.0);
+    }
+
+    #[test]
+    fn constant_feature_has_clamped_std() {
+        let mut s = OnlineScaler::new(1);
+        for _ in 0..10 {
+            s.observe(&[7.0]);
+        }
+        // Std clamps at a tiny positive value; z-scores stay finite.
+        assert!(s.transform(&[8.0])[0].is_finite());
+    }
+
+    #[test]
+    fn max_abs_z_flags_outliers() {
+        let mut s = OnlineScaler::new(2);
+        for i in 0..100 {
+            s.observe(&[i as f64 % 10.0, 50.0 + (i % 5) as f64]);
+        }
+        assert!(s.max_abs_z(&[4.5, 52.0]) < 2.0, "in-distribution point");
+        assert!(s.max_abs_z(&[1000.0, 52.0]) > 10.0, "clear outlier");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = OnlineScaler::new(1);
+        s.observe(&[5.0]);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean()[0], 0.0);
+        assert_eq!(s.features(), 1);
+    }
+
+    #[test]
+    fn observe_transform_is_consistent() {
+        let mut a = OnlineScaler::new(1);
+        let mut b = OnlineScaler::new(1);
+        a.observe(&[1.0]);
+        b.observe(&[1.0]);
+        let za = a.observe_transform(&[2.0]);
+        b.observe(&[2.0]);
+        let zb = b.transform(&[2.0]);
+        assert_eq!(za, zb);
+    }
+}

@@ -1,0 +1,39 @@
+//! Calibration probe for the learned congestion controller: prints the
+//! trained Q-table's per-state greedy actions, visit counts, and a greedy
+//! evaluation trace. Used to tune training; kept as a diagnostic.
+
+use netsim::link::RoundOutcome;
+use netsim::*;
+
+fn main() {
+    let config = LinkConfig::default();
+    let mut link = Link::new(config, 7);
+    let mut cc = LearnedCc::new(0.2, 7);
+    let mut outcome = RoundOutcome::initial(&config);
+    for round in 0..6000 {
+        if round % 200 == 0 { cc.reset_window(); }
+        let w = cc.next_window(&outcome);
+        outcome = link.round(w);
+    }
+    cc.freeze();
+    println!("train mean util {:.3}", link.mean_utilization());
+    for s in 0..30 {
+        println!("state {s:2}: visits {:6} greedy {}", cc.state_visits(s), cc.greedy_multiplier(s));
+    }
+    // Greedy eval.
+    let mut link2 = Link::new(config, 99);
+    let mut eval = cc.clone();
+    eval.reset_window();
+    let mut o = RoundOutcome::initial(&config);
+    let mut windows = vec![];
+    for _ in 0..60 {
+        let w = eval.next_window(&o);
+        o = link2.round(w);
+        windows.push(w as u32);
+    }
+    println!("eval windows: {windows:?}");
+    for st in [2usize, 14, 27] {
+        let row: Vec<String> = (0..5).map(|a| format!("{:.3}", cc.q_value(st, a))).collect();
+        println!("Q[state {st}] = {row:?}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Classic congestion controllers: the known-safe fallbacks.
+
+use crate::link::RoundOutcome;
+use crate::CongestionControl;
+
+/// Reno-style AIMD: +1 packet per round, halve on loss.
+#[derive(Clone, Debug)]
+pub struct Aimd {
+    window: f64,
+}
+
+impl Default for Aimd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aimd {
+    /// Creates the controller at a 10-packet initial window.
+    pub fn new() -> Self {
+        Aimd { window: 10.0 }
+    }
+}
+
+impl CongestionControl for Aimd {
+    fn next_window(&mut self, outcome: &RoundOutcome) -> f64 {
+        if outcome.lost {
+            self.window = (self.window / 2.0).max(1.0);
+        } else {
+            self.window += 1.0;
+        }
+        self.window
+    }
+
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+}
+
+/// A CUBIC-style controller: cubic window growth anchored at the last
+/// loss's window, with a 0.7 multiplicative decrease.
+///
+/// This is the predictable, convergent baseline that Orca couples its
+/// learned controller to, and the fallback the `REPLACE` action installs.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    window: f64,
+    w_max: f64,
+    rounds_since_loss: f64,
+    c: f64,
+    beta: f64,
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cubic {
+    /// Creates the controller at a 10-packet initial window.
+    pub fn new() -> Self {
+        Cubic {
+            window: 10.0,
+            w_max: 10.0,
+            rounds_since_loss: 0.0,
+            c: 0.4,
+            beta: 0.7,
+        }
+    }
+
+    /// The inflection delay `K = cbrt(w_max * (1 - beta) / C)`.
+    fn k(&self) -> f64 {
+        (self.w_max * (1.0 - self.beta) / self.c).cbrt()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn next_window(&mut self, outcome: &RoundOutcome) -> f64 {
+        if outcome.lost {
+            self.w_max = self.window;
+            self.window = (self.window * self.beta).max(1.0);
+            self.rounds_since_loss = 0.0;
+        } else {
+            self.rounds_since_loss += 1.0;
+            let t = self.rounds_since_loss;
+            let target = self.c * (t - self.k()).powi(3) + self.w_max;
+            self.window = target.max(self.window + 0.1).max(1.0);
+        }
+        self.window
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkConfig};
+
+    fn drive(mut cc: impl CongestionControl, rounds: usize) -> (f64, Link) {
+        let mut link = Link::new(LinkConfig::default(), 9);
+        let mut outcome = RoundOutcome::initial(&LinkConfig::default());
+        for _ in 0..rounds {
+            let w = cc.next_window(&outcome);
+            outcome = link.round(w);
+        }
+        (outcome.window, link)
+    }
+
+    #[test]
+    fn aimd_reaches_high_utilization() {
+        let (_, link) = drive(Aimd::new(), 500);
+        assert!(link.mean_utilization() > 0.85, "{}", link.mean_utilization());
+    }
+
+    #[test]
+    fn cubic_reaches_high_utilization() {
+        let (_, link) = drive(Cubic::new(), 500);
+        assert!(link.mean_utilization() > 0.9, "{}", link.mean_utilization());
+    }
+
+    #[test]
+    fn aimd_halves_on_loss() {
+        let mut cc = Aimd::new();
+        let mut outcome = RoundOutcome::initial(&LinkConfig::default());
+        outcome.lost = true;
+        cc.window = 64.0;
+        assert_eq!(cc.next_window(&outcome), 32.0);
+        assert_eq!(cc.name(), "aimd");
+    }
+
+    #[test]
+    fn cubic_decreases_by_beta_and_regrows() {
+        let mut cc = Cubic::new();
+        cc.window = 100.0;
+        let mut outcome = RoundOutcome::initial(&LinkConfig::default());
+        outcome.lost = true;
+        let after_loss = cc.next_window(&outcome);
+        assert!((after_loss - 70.0).abs() < 1e-9);
+        outcome.lost = false;
+        let mut w = after_loss;
+        for _ in 0..50 {
+            w = cc.next_window(&outcome);
+        }
+        assert!(w > 95.0, "regrows toward w_max: {w}");
+        assert_eq!(cc.name(), "cubic");
+    }
+
+    #[test]
+    fn windows_never_drop_below_one() {
+        let mut cc = Aimd::new();
+        let mut outcome = RoundOutcome::initial(&LinkConfig::default());
+        outcome.lost = true;
+        for _ in 0..20 {
+            assert!(cc.next_window(&outcome) >= 1.0);
+        }
+    }
+}

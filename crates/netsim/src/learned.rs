@@ -1,0 +1,271 @@
+//! The learned congestion controller.
+//!
+//! An Orca-flavoured design reduced to its decision core: discretize the
+//! (utilization, RTT-gradient, loss) observation into a state and learn
+//! per-state window multipliers with tabular Q-learning on a power-style
+//! reward (full pipe, empty queue). Trained under clean measurements it
+//! converges to sensible behaviour — grow when the pipe is idle, back off
+//! when the queue builds or packets drop.
+//!
+//! Its hazard is exactly P2: the state estimate is a *threshold function of
+//! a noisy measurement*. RTT measurement noise scatters the policy across
+//! states — including states never visited during training, whose greedy
+//! action is arbitrary — and because the actions are multiplicative, the
+//! resulting decision flapping is a downward random walk that collapses the
+//! window and never recovers (§2's failure mode).
+
+use mlkit::QTable;
+
+use crate::link::RoundOutcome;
+use crate::CongestionControl;
+
+/// The window multipliers the agent chooses among. Action 0 is the
+/// strongest back-off; untrained states therefore fail *shrinking* — the
+/// conservative direction for a congestion controller, but one that noise
+/// can weaponize into collapse.
+pub const ACTIONS: [f64; 5] = [0.6, 0.85, 1.0, 1.05, 1.2];
+
+/// States: window bucket (5, log-ish thresholds) × RTT gradient
+/// {falling, flat, rising} × loss {no, yes}.
+const STATES: usize = 30;
+
+/// Window-bucket thresholds in packets.
+const WINDOW_BUCKETS: [f64; 4] = [30.0, 80.0, 140.0, 200.0];
+
+/// The learned controller.
+#[derive(Clone, Debug)]
+pub struct LearnedCc {
+    q: QTable,
+    window: f64,
+    last_state: usize,
+    last_action: usize,
+    decisions: u64,
+    frozen: bool,
+}
+
+impl LearnedCc {
+    /// Creates an untrained controller with exploration rate `epsilon`.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        LearnedCc {
+            q: QTable::new(STATES, ACTIONS.len(), 0.2, 0.9, epsilon, seed),
+            window: 10.0,
+            last_state: 2, // Smallest window bucket, flat gradient, no loss.
+            last_action: 2,
+            decisions: 0,
+            frozen: false,
+        }
+    }
+
+    /// Discretizes an observation into a state index.
+    ///
+    /// The window bucket is the controller's own (noise-free) state; the
+    /// RTT-gradient bucket is a threshold function of a *noisy measurement*
+    /// — the crack P2 noise gets in through.
+    pub fn state_of(outcome: &RoundOutcome) -> usize {
+        let window_bucket = WINDOW_BUCKETS
+            .iter()
+            .filter(|&&t| outcome.window >= t)
+            .count();
+        let gradient_bucket = if outcome.rtt_gradient < -0.05 {
+            0
+        } else if outcome.rtt_gradient <= 0.05 {
+            1
+        } else {
+            2
+        };
+        window_bucket * 6 + gradient_bucket * 2 + usize::from(outcome.lost)
+    }
+
+    /// The reward the controller optimizes: utilization minus standing-queue
+    /// and loss penalties (a power-style objective: full pipe, empty queue).
+    pub fn reward(outcome: &RoundOutcome) -> f64 {
+        let queue_penalty = (outcome.rtt_ratio - 1.0).max(0.0);
+        let loss_penalty = if outcome.lost { 0.5 } else { 0.0 };
+        outcome.utilization - queue_penalty - loss_penalty
+    }
+
+    /// Freezes learning and exploration (the deployed, greedy policy).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+        self.q.set_epsilon(0.0);
+    }
+
+    /// Whether the controller is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// The greedy multiplier the policy would apply in `state` (for
+    /// robustness probing — a pure read).
+    pub fn greedy_multiplier(&self, state: usize) -> f64 {
+        ACTIONS[self.q.best(state.min(STATES - 1))]
+    }
+
+    /// How many training updates `state` received (diagnosing OOD states).
+    pub fn state_visits(&self, state: usize) -> u64 {
+        self.q.state_visits(state.min(STATES - 1))
+    }
+
+    /// The learned Q-value for `(state, action)` (diagnostics).
+    pub fn q_value(&self, state: usize, action: usize) -> f64 {
+        self.q.value(state.min(STATES - 1), action.min(ACTIONS.len() - 1))
+    }
+
+    /// Resets the congestion window to the initial value (used between
+    /// training episodes so exploration covers the whole operating range
+    /// instead of idling in an absorbing region).
+    pub fn reset_window(&mut self) {
+        self.window = 10.0;
+    }
+
+    /// Total decisions taken.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// The multiplier chosen for the most recent round.
+    pub fn last_multiplier(&self) -> f64 {
+        ACTIONS[self.last_action]
+    }
+}
+
+impl CongestionControl for LearnedCc {
+    fn next_window(&mut self, outcome: &RoundOutcome) -> f64 {
+        let state = Self::state_of(outcome);
+        // Learn from the consequence of the previous action.
+        if !self.frozen {
+            self.q
+                .update(self.last_state, self.last_action, Self::reward(outcome), state);
+        }
+        let action = self.q.select(state);
+        self.last_state = state;
+        self.last_action = action;
+        self.decisions += 1;
+        self.window = (self.window * ACTIONS[action]).clamp(1.0, 1_000.0);
+        self.window
+    }
+
+    fn name(&self) -> &'static str {
+        "learned-cc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkConfig};
+
+    fn train(rounds: usize, seed: u64) -> (LearnedCc, Link) {
+        let config = LinkConfig::default();
+        let mut link = Link::new(config, seed);
+        let mut cc = LearnedCc::new(0.2, seed);
+        let mut outcome = RoundOutcome::initial(&config);
+        for round in 0..rounds {
+            if round % 200 == 0 {
+                cc.reset_window();
+            }
+            let w = cc.next_window(&outcome);
+            outcome = link.round(w);
+        }
+        cc.freeze();
+        (cc, link)
+    }
+
+    #[test]
+    fn state_discretization() {
+        let mut o = RoundOutcome::initial(&LinkConfig::default());
+        o.window = 10.0;
+        o.rtt_gradient = -0.2;
+        assert_eq!(LearnedCc::state_of(&o), 0);
+        o.rtt_gradient = 0.0;
+        assert_eq!(LearnedCc::state_of(&o), 2);
+        o.rtt_gradient = 0.2;
+        assert_eq!(LearnedCc::state_of(&o), 4);
+        o.window = 100.0; // Third bucket.
+        assert_eq!(LearnedCc::state_of(&o), 16);
+        o.lost = true;
+        assert_eq!(LearnedCc::state_of(&o), 17);
+        o.window = 500.0; // Top bucket.
+        assert_eq!(LearnedCc::state_of(&o), 29);
+    }
+
+    #[test]
+    fn trained_policy_utilizes_the_link() {
+        let (cc, _) = train(4_000, 3);
+        let config = LinkConfig::default();
+        let mut link = Link::new(config, 99);
+        let mut eval = cc.clone();
+        eval.reset_window();
+        let mut outcome = RoundOutcome::initial(&config);
+        for _ in 0..400 {
+            let w = eval.next_window(&outcome);
+            outcome = link.round(w);
+        }
+        assert!(
+            link.mean_utilization() > 0.8,
+            "trained utilization {}",
+            link.mean_utilization()
+        );
+    }
+
+    #[test]
+    fn trained_policy_grows_when_small_backs_off_on_loss() {
+        let (cc, _) = train(6_000, 7);
+        // Smallest window bucket, flat gradient, no loss: grow.
+        assert!(cc.greedy_multiplier(2) > 1.0, "small: {}", cc.greedy_multiplier(2));
+        // Top window bucket with loss (flat gradient): back off.
+        assert!(
+            cc.greedy_multiplier(27) < 1.0,
+            "loss: {} (visits {})",
+            cc.greedy_multiplier(27),
+            cc.state_visits(27)
+        );
+    }
+
+    #[test]
+    fn frozen_policy_stops_learning() {
+        let (mut cc, _) = train(500, 11);
+        assert!(cc.is_frozen());
+        let before: Vec<f64> = (0..STATES).map(|s| cc.greedy_multiplier(s)).collect();
+        let mut o = RoundOutcome::initial(&LinkConfig::default());
+        o.utilization = 0.0;
+        for _ in 0..100 {
+            cc.next_window(&o);
+        }
+        let after: Vec<f64> = (0..STATES).map(|s| cc.greedy_multiplier(s)).collect();
+        assert_eq!(before, after);
+        assert!(cc.decisions() >= 600);
+    }
+
+    #[test]
+    fn reward_prefers_full_clean_pipe() {
+        let mut good = RoundOutcome::initial(&LinkConfig::default());
+        good.utilization = 1.0;
+        let mut bad = good;
+        bad.lost = true;
+        bad.rtt_ratio = 1.5;
+        assert!(LearnedCc::reward(&good) > LearnedCc::reward(&bad));
+    }
+
+    #[test]
+    fn window_stays_in_bounds() {
+        let mut cc = LearnedCc::new(1.0, 5);
+        let mut o = RoundOutcome::initial(&LinkConfig::default());
+        o.lost = true;
+        for _ in 0..200 {
+            let w = cc.next_window(&o);
+            assert!((1.0..=1_000.0).contains(&w));
+        }
+        assert_eq!(cc.name(), "learned-cc");
+        assert!(ACTIONS.contains(&cc.last_multiplier()));
+    }
+
+    #[test]
+    fn untrained_states_exist_after_clean_training() {
+        let (cc, _) = train(4_000, 13);
+        // Rising-RTT at a small window cannot occur without noise (an empty
+        // queue cannot inflate RTT), so that state is barely visited — the
+        // OOD hole the P2 scenario falls into.
+        assert!(cc.state_visits(4) < 20, "small-window rising-RTT: {}", cc.state_visits(4));
+    }
+}

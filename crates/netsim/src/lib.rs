@@ -1,0 +1,43 @@
+//! Congestion-control substrate: the P2 (robustness) setting.
+//!
+//! §2 of the paper warns that "a learned congestion control may lead to a
+//! sudden drop in bandwidth utilization and fail to recover from it", and
+//! Figure 1 assigns congestion control the robustness property P2: "check
+//! if the model is sensitive to noisy measurements". This crate builds that
+//! scenario:
+//!
+//! - [`link`]: a fluid bottleneck-link model advanced one RTT round at a
+//!   time, with queue-induced RTT inflation and overflow loss;
+//! - [`classic`]: AIMD (Reno-style) and a CUBIC-style baseline — the
+//!   known-safe fallbacks;
+//! - [`learned`]: a bandit congestion controller over discretized
+//!   (RTT-gradient, loss) state (Orca-style slow-timescale adjustment).
+//!   Trained under clean measurements it behaves; under *noisy RTT
+//!   measurements* its state estimate flips randomly and its multiplicative
+//!   actions random-walk the window into collapse — organically, with no
+//!   scripted failure;
+//! - [`sim`]: the scenario wiring the P2 sensitivity-probe guardrail and a
+//!   utilization floor to the monitor engine, with `REPLACE` falling back
+//!   to CUBIC.
+
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod learned;
+pub mod link;
+pub mod multiflow;
+pub mod sim;
+
+pub use classic::{Aimd, Cubic};
+pub use learned::LearnedCc;
+pub use link::{Link, LinkConfig, RoundOutcome};
+pub use multiflow::{run_fairness_sim, FairnessReport, FairnessSimConfig, SharedLink};
+pub use sim::{run_cc_sim, CcReport, CcSimConfig, CcPolicyKind};
+
+/// A congestion controller: maps the last round's outcome to a new window.
+pub trait CongestionControl {
+    /// Returns the congestion window (in packets) for the next round.
+    fn next_window(&mut self, outcome: &RoundOutcome) -> f64;
+    /// The policy name.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,231 @@
+//! A fluid bottleneck-link model advanced one RTT round at a time.
+
+use simkernel::{DetRng, Nanos};
+
+/// Link parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Bandwidth-delay product in packets (the window that exactly fills
+    /// the pipe at base RTT).
+    pub bdp_packets: f64,
+    /// Queue capacity in packets beyond the BDP.
+    pub queue_packets: f64,
+    /// Base (uncongested) round-trip time.
+    pub base_rtt: Nanos,
+    /// Standard deviation of *measurement* noise on reported RTTs, as a
+    /// fraction of base RTT (the P2 stressor; the real queue is unaffected).
+    pub rtt_noise: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            bdp_packets: 100.0,
+            queue_packets: 50.0,
+            base_rtt: Nanos::from_millis(20),
+            rtt_noise: 0.0,
+        }
+    }
+}
+
+/// What a controller observes after one round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundOutcome {
+    /// Packets acknowledged this round.
+    pub acked: f64,
+    /// Whether loss occurred (queue overflow).
+    pub lost: bool,
+    /// The *measured* RTT (true RTT plus measurement noise).
+    pub rtt: Nanos,
+    /// Measured RTT gradient vs. the previous round, in fractions of base.
+    pub rtt_gradient: f64,
+    /// Measured RTT as a multiple of the base RTT (1.0 = uncongested).
+    pub rtt_ratio: f64,
+    /// Link utilization achieved this round in `[0, 1]`.
+    pub utilization: f64,
+    /// The window that was in flight.
+    pub window: f64,
+}
+
+impl RoundOutcome {
+    /// The initial outcome fed to a controller before any traffic.
+    pub fn initial(config: &LinkConfig) -> Self {
+        RoundOutcome {
+            acked: 0.0,
+            lost: false,
+            rtt: config.base_rtt,
+            rtt_gradient: 0.0,
+            rtt_ratio: 1.0,
+            utilization: 0.0,
+            window: 1.0,
+        }
+    }
+}
+
+/// The bottleneck link.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{Link, LinkConfig};
+///
+/// let mut link = Link::new(LinkConfig::default(), 7);
+/// let out = link.round(100.0); // Exactly the BDP.
+/// assert!(!out.lost);
+/// assert!(out.utilization > 0.99);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Link {
+    config: LinkConfig,
+    rng: DetRng,
+    last_measured_rtt: Nanos,
+    rounds: u64,
+    total_utilization: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        Link {
+            config,
+            rng: DetRng::seed(seed),
+            last_measured_rtt: config.base_rtt,
+            rounds: 0,
+            total_utilization: 0.0,
+        }
+    }
+
+    /// Turns measurement noise on/off mid-run (the phase shift).
+    pub fn set_rtt_noise(&mut self, noise: f64) {
+        self.config.rtt_noise = noise.max(0.0);
+    }
+
+    /// Advances one RTT round with `window` packets in flight.
+    pub fn round(&mut self, window: f64) -> RoundOutcome {
+        let window = window.max(1.0);
+        let capacity = self.config.bdp_packets;
+        let queue_limit = capacity + self.config.queue_packets;
+        let (acked, lost, queue) = if window <= capacity {
+            (window, false, 0.0)
+        } else if window <= queue_limit {
+            (capacity, false, window - capacity)
+        } else {
+            // Overflow: the excess is dropped.
+            (capacity, true, self.config.queue_packets)
+        };
+        // True RTT inflates with queue occupancy.
+        let true_rtt = Nanos::from_secs_f64(
+            self.config.base_rtt.as_secs_f64() * (1.0 + queue / capacity),
+        );
+        // Measured RTT adds noise (sensors, jittery timestamps, ...).
+        let noise = 1.0
+            + self
+                .rng
+                .normal(0.0, self.config.rtt_noise)
+                .clamp(-0.9, 3.0);
+        let measured = Nanos::from_secs_f64(true_rtt.as_secs_f64() * noise);
+        let gradient = (measured.as_secs_f64() - self.last_measured_rtt.as_secs_f64())
+            / self.config.base_rtt.as_secs_f64();
+        self.last_measured_rtt = measured;
+        let utilization = (acked / capacity).min(1.0);
+        self.rounds += 1;
+        self.total_utilization += utilization;
+        RoundOutcome {
+            acked,
+            lost,
+            rtt: measured,
+            rtt_gradient: gradient,
+            rtt_ratio: measured.as_secs_f64() / self.config.base_rtt.as_secs_f64(),
+            utilization,
+            window,
+        }
+    }
+
+    /// Mean utilization over all rounds so far.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_utilization / self.rounds as f64
+        }
+    }
+
+    /// Rounds simulated.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(LinkConfig::default(), 1)
+    }
+
+    #[test]
+    fn underfilled_pipe_underutilizes() {
+        let mut l = link();
+        let out = l.round(50.0);
+        assert!(!out.lost);
+        assert!((out.utilization - 0.5).abs() < 1e-9);
+        assert_eq!(out.rtt, Nanos::from_millis(20), "no queue, no noise");
+    }
+
+    #[test]
+    fn queueing_inflates_rtt_without_loss() {
+        let mut l = link();
+        let out = l.round(125.0);
+        assert!(!out.lost);
+        assert!(out.utilization > 0.99);
+        assert!(out.rtt > Nanos::from_millis(20));
+        assert!(out.rtt_gradient > 0.0);
+    }
+
+    #[test]
+    fn overflow_loses() {
+        let mut l = link();
+        let out = l.round(200.0);
+        assert!(out.lost);
+        assert!(out.utilization > 0.99, "the link itself stays busy");
+    }
+
+    #[test]
+    fn measurement_noise_only_affects_reported_rtt() {
+        let mut clean = Link::new(LinkConfig::default(), 3);
+        let mut noisy = Link::new(
+            LinkConfig {
+                rtt_noise: 0.3,
+                ..LinkConfig::default()
+            },
+            3,
+        );
+        let a = clean.round(50.0);
+        let b = noisy.round(50.0);
+        assert_eq!(a.acked, b.acked, "throughput identical");
+        assert_eq!(a.utilization, b.utilization);
+        assert_ne!(a.rtt, b.rtt, "reported RTT differs");
+    }
+
+    #[test]
+    fn mean_utilization_accumulates() {
+        let mut l = link();
+        l.round(100.0);
+        l.round(50.0);
+        assert!((l.mean_utilization() - 0.75).abs() < 1e-9);
+        assert_eq!(l.rounds(), 2);
+    }
+
+    #[test]
+    fn window_floor_is_one_packet() {
+        let mut l = link();
+        let out = l.round(0.0);
+        assert!(out.acked >= 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! The CFS-like weighted-fair baseline scheduler.
+
+use std::collections::HashMap;
+
+use simkernel::{Nanos, TaskId};
+
+use crate::task::SchedTask;
+use crate::Scheduler;
+
+/// A weighted-fair scheduler: picks the ready task with the smallest
+/// virtual runtime, where vruntime advances inversely to the task's
+/// CFS weight (nice level).
+///
+/// This is the hand-coded heuristic the learned scheduler competes with,
+/// and the known-safe policy it falls back to.
+#[derive(Debug, Default)]
+pub struct CfsScheduler {
+    vruntime: HashMap<TaskId, f64>,
+    weights: HashMap<TaskId, f64>,
+}
+
+impl CfsScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded vruntime of `task` (0 if never seen).
+    pub fn vruntime(&self, task: TaskId) -> f64 {
+        self.vruntime.get(&task).copied().unwrap_or(0.0)
+    }
+}
+
+impl Scheduler for CfsScheduler {
+    fn pick(&mut self, ready: &[&SchedTask], _now: Nanos) -> usize {
+        // New tasks start at the minimum vruntime of the ready set so they
+        // neither starve nor monopolize (the CFS placement rule).
+        let min_vr = ready
+            .iter()
+            .filter_map(|t| self.vruntime.get(&t.id).copied())
+            .fold(f64::INFINITY, f64::min);
+        let base = if min_vr.is_finite() { min_vr } else { 0.0 };
+        let mut best = 0;
+        let mut best_vr = f64::INFINITY;
+        for (i, t) in ready.iter().enumerate() {
+            let vr = *self.vruntime.entry(t.id).or_insert(base);
+            self.weights.insert(t.id, t.priority.weight());
+            if vr < best_vr {
+                best_vr = vr;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn observe(&mut self, task: TaskId, ran: Nanos, _burst_done: bool) {
+        let weight = self.weights.get(&task).copied().unwrap_or(1024.0);
+        *self.vruntime.entry(task).or_insert(0.0) +=
+            ran.as_nanos() as f64 * 1024.0 / weight.max(1.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "cfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{SchedTask, TaskSpec};
+    use simkernel::Priority;
+
+    fn mk(id: u64, nice: i32) -> SchedTask {
+        let mut spec = TaskSpec::batch();
+        spec.priority = Priority::new(nice);
+        let mut t = SchedTask::new(TaskId(id), spec, id);
+        t.priority = spec.priority;
+        t
+    }
+
+    #[test]
+    fn alternates_between_equal_tasks() {
+        let mut s = CfsScheduler::new();
+        let a = mk(1, 0);
+        let b = mk(2, 0);
+        let ready = vec![&a, &b];
+        let first = s.pick(&ready, Nanos::ZERO);
+        let first_id = ready[first].id;
+        s.observe(first_id, Nanos::from_millis(1), false);
+        let second = s.pick(&ready, Nanos::ZERO);
+        assert_ne!(ready[second].id, first_id, "fairness alternates");
+    }
+
+    #[test]
+    fn higher_weight_gets_more_cpu() {
+        let mut s = CfsScheduler::new();
+        let fast = mk(1, -10);
+        let slow = mk(2, 10);
+        let ready = vec![&fast, &slow];
+        let mut fast_runs = 0;
+        for _ in 0..100 {
+            let i = s.pick(&ready, Nanos::ZERO);
+            let id = ready[i].id;
+            if id == fast.id {
+                fast_runs += 1;
+            }
+            s.observe(id, Nanos::from_millis(1), false);
+        }
+        assert!(fast_runs > 80, "nice -10 should dominate: {fast_runs}/100");
+        assert!(fast_runs < 100, "nice 10 must not starve entirely");
+    }
+
+    #[test]
+    fn new_task_starts_at_min_vruntime() {
+        let mut s = CfsScheduler::new();
+        let a = mk(1, 0);
+        s.pick(&[&a], Nanos::ZERO);
+        s.observe(a.id, Nanos::from_secs(1), false);
+        // A newcomer must not be owed a full second of runtime.
+        let b = mk(2, 0);
+        let ready = vec![&a, &b];
+        s.pick(&ready, Nanos::ZERO);
+        assert!(s.vruntime(b.id) >= s.vruntime(a.id) * 0.99);
+        assert_eq!(s.name(), "cfs");
+    }
+}

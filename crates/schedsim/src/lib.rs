@@ -1,0 +1,42 @@
+//! CPU-scheduling substrate: the P6 (fairness/liveness) setting.
+//!
+//! Figure 1 of the paper names CPU scheduling as the subsystem needing the
+//! fairness/liveness property ("No ready task should be starved for more
+//! than 100ms") and the `DEPRIORITIZE` action's natural home. This crate
+//! provides a single-CPU quantum scheduler substrate with:
+//!
+//! - a CFS-like weighted-fair baseline ([`cfs::CfsScheduler`]),
+//! - a learned shortest-predicted-burst scheduler
+//!   ([`learned::LearnedScheduler`]) that minimizes mean latency but starves
+//!   long-burst tasks exactly the way the paper warns about, and
+//! - a simulation loop ([`sim`]) that publishes `sched.max_wait_ns`,
+//!   `sched.jain`, and `sched.dominant` to the feature store and applies
+//!   `DEPRIORITIZE` commands drained from the monitor engine.
+
+#![warn(missing_docs)]
+
+pub mod cfs;
+pub mod learned;
+pub mod sim;
+pub mod task;
+
+pub use cfs::CfsScheduler;
+pub use learned::LearnedScheduler;
+pub use sim::{run_sched_sim, SchedReport, SchedSimConfig, SchedulerKind};
+pub use task::{SchedTask, TaskSpec};
+
+use simkernel::{Nanos, TaskId};
+
+/// A scheduling policy over ready tasks.
+pub trait Scheduler {
+    /// Picks the next task to run from `ready` (non-empty), given the
+    /// current time. Returns an index into `ready`.
+    fn pick(&mut self, ready: &[&SchedTask], now: Nanos) -> usize;
+
+    /// Observes a completed quantum: `task` ran for `ran` and either
+    /// finished its burst or was preempted.
+    fn observe(&mut self, task: TaskId, ran: Nanos, burst_done: bool);
+
+    /// A short policy name for reports.
+    fn name(&self) -> &'static str;
+}

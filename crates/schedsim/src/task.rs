@@ -1,0 +1,206 @@
+//! Simulated tasks with stochastic CPU bursts.
+
+use simkernel::{DetRng, Nanos, Priority, TaskId};
+
+/// Static description of a task's behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskSpec {
+    /// Mean CPU burst length.
+    pub mean_burst: Nanos,
+    /// Mean think time between bursts (0 = always ready again immediately).
+    pub mean_think: Nanos,
+    /// Initial priority.
+    pub priority: Priority,
+}
+
+impl TaskSpec {
+    /// An interactive task: short bursts, short think times.
+    pub fn interactive() -> Self {
+        TaskSpec {
+            mean_burst: Nanos::from_micros(500),
+            mean_think: Nanos::from_millis(2),
+            priority: Priority::DEFAULT,
+        }
+    }
+
+    /// A batch task: long bursts, no think time.
+    pub fn batch() -> Self {
+        TaskSpec {
+            mean_burst: Nanos::from_millis(20),
+            mean_think: Nanos::ZERO,
+            priority: Priority::DEFAULT,
+        }
+    }
+}
+
+/// The dynamic state of one simulated task.
+#[derive(Clone, Debug)]
+pub struct SchedTask {
+    /// The kernel task id.
+    pub id: TaskId,
+    /// Behaviour parameters.
+    pub spec: TaskSpec,
+    /// Current priority (the `DEPRIORITIZE` action mutates this).
+    pub priority: Priority,
+    /// Remaining CPU in the current burst (0 = waiting for next burst).
+    pub remaining: Nanos,
+    /// Time the task becomes ready again (when `remaining` is 0).
+    pub ready_at: Nanos,
+    /// When the task last became ready with work (for wait accounting).
+    pub ready_since: Nanos,
+    /// Total CPU consumed.
+    pub cpu_time: Nanos,
+    /// Total time spent ready-but-not-running.
+    pub wait_time: Nanos,
+    /// Longest single ready-to-run wait observed (the starvation metric).
+    pub max_wait: Nanos,
+    /// Whether the task has been killed.
+    pub dead: bool,
+    rng: DetRng,
+}
+
+impl SchedTask {
+    /// Creates a task with its own RNG stream; the first burst is sampled
+    /// immediately.
+    pub fn new(id: TaskId, spec: TaskSpec, seed: u64) -> Self {
+        let mut rng = DetRng::seed(seed);
+        let first = Self::sample_burst(&mut rng, spec.mean_burst);
+        SchedTask {
+            id,
+            spec,
+            priority: spec.priority,
+            remaining: first,
+            ready_at: Nanos::ZERO,
+            ready_since: Nanos::ZERO,
+            cpu_time: Nanos::ZERO,
+            wait_time: Nanos::ZERO,
+            max_wait: Nanos::ZERO,
+            dead: false,
+            rng,
+        }
+    }
+
+    fn sample_burst(rng: &mut DetRng, mean: Nanos) -> Nanos {
+        let burst = rng.exp(1.0 / mean.as_secs_f64().max(1e-12));
+        Nanos::from_secs_f64(burst).max(Nanos::from_micros(10))
+    }
+
+    /// Is the task ready to run at `now`?
+    pub fn is_ready(&self, now: Nanos) -> bool {
+        !self.dead && self.remaining > Nanos::ZERO && self.ready_at <= now
+    }
+
+    /// Accounts a completed quantum of length `ran` ending at `end`.
+    ///
+    /// If the burst finished, samples the next burst and think time.
+    pub fn account_run(&mut self, ran: Nanos, end: Nanos) -> bool {
+        self.cpu_time += ran;
+        self.remaining = self.remaining.saturating_sub(ran);
+        if self.remaining == Nanos::ZERO {
+            let think = if self.spec.mean_think == Nanos::ZERO {
+                Nanos::ZERO
+            } else {
+                Nanos::from_secs_f64(
+                    self.rng.exp(1.0 / self.spec.mean_think.as_secs_f64().max(1e-12)),
+                )
+            };
+            self.remaining = Self::sample_burst(&mut self.rng, self.spec.mean_burst);
+            self.ready_at = end + think;
+            self.ready_since = self.ready_at;
+            true
+        } else {
+            self.ready_since = end;
+            false
+        }
+    }
+
+    /// Accounts waiting time for a task that was ready at `from` and starts
+    /// running (or is re-examined) at `now`.
+    pub fn account_wait(&mut self, now: Nanos) {
+        if self.remaining > Nanos::ZERO && self.ready_at <= now {
+            let waited = now.saturating_sub(self.ready_since.max(self.ready_at));
+            self.wait_time += waited;
+            self.max_wait = self.max_wait.max(waited);
+        }
+    }
+
+    /// The wait the task has accumulated since it last ran, as of `now`.
+    pub fn current_wait(&self, now: Nanos) -> Nanos {
+        if self.is_ready(now) {
+            now.saturating_sub(self.ready_since.max(self.ready_at))
+        } else {
+            Nanos::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(spec: TaskSpec) -> SchedTask {
+        SchedTask::new(TaskId(1), spec, 42)
+    }
+
+    #[test]
+    fn new_task_is_ready_immediately() {
+        let t = task(TaskSpec::batch());
+        assert!(t.is_ready(Nanos::ZERO));
+        assert!(t.remaining > Nanos::ZERO);
+    }
+
+    #[test]
+    fn burst_completion_samples_next() {
+        let mut t = task(TaskSpec::batch());
+        let burst = t.remaining;
+        let done = t.account_run(burst, Nanos::from_millis(50));
+        assert!(done);
+        assert!(t.remaining > Nanos::ZERO, "next burst sampled");
+        assert_eq!(t.cpu_time, burst);
+        // Batch tasks have no think time.
+        assert_eq!(t.ready_at, Nanos::from_millis(50));
+    }
+
+    #[test]
+    fn partial_run_preserves_remainder() {
+        let mut t = task(TaskSpec::batch());
+        let burst = t.remaining;
+        let half = burst / 2;
+        let done = t.account_run(half, Nanos::from_millis(1));
+        assert!(!done);
+        assert_eq!(t.remaining, burst - half);
+    }
+
+    #[test]
+    fn interactive_tasks_think() {
+        let mut t = task(TaskSpec::interactive());
+        let burst = t.remaining;
+        t.account_run(burst, Nanos::from_millis(1));
+        assert!(t.ready_at > Nanos::from_millis(1), "think time applied");
+        assert!(!t.is_ready(Nanos::from_millis(1)));
+    }
+
+    #[test]
+    fn wait_accounting_tracks_max() {
+        let mut t = task(TaskSpec::batch());
+        t.account_wait(Nanos::from_millis(30));
+        assert_eq!(t.max_wait, Nanos::from_millis(30));
+        assert_eq!(t.current_wait(Nanos::from_millis(40)), Nanos::from_millis(40));
+        // Dead tasks are never ready.
+        t.dead = true;
+        assert!(!t.is_ready(Nanos::from_secs(1)));
+        assert_eq!(t.current_wait(Nanos::from_secs(1)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn bursts_have_configured_mean() {
+        let mut rng = DetRng::seed(1);
+        let mean = Nanos::from_millis(10);
+        let n = 5_000;
+        let total: f64 = (0..n)
+            .map(|_| SchedTask::sample_burst(&mut rng, mean).as_secs_f64())
+            .sum();
+        let avg_ms = total / n as f64 * 1e3;
+        assert!((avg_ms - 10.0).abs() < 0.8, "avg {avg_ms}ms");
+    }
+}

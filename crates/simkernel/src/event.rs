@@ -1,0 +1,280 @@
+//! Discrete-event machinery: a time-ordered event queue and a closure-based
+//! event loop for building subsystem simulations.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// A time-ordered queue of events of type `E`.
+///
+/// Events scheduled for the same timestamp are delivered in insertion order
+/// (FIFO), which keeps simulations deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use simkernel::{EventQueue, Nanos};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_micros(2), "b");
+/// q.schedule(Nanos::from_micros(1), "a");
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(1), "a")));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(2), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(Nanos, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
+    }
+
+    /// Returns the timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Removes and returns the earliest pending event with its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// The type of a scheduled callback in an [`EventLoop`].
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventLoop<W>)>;
+
+/// A closure-based discrete-event loop over a world of type `W`.
+///
+/// Subsystem simulations (the flash array, the scheduler, ...) own a world
+/// struct and schedule boxed closures against it. The loop advances a
+/// monotonic clock to each event's timestamp and invokes the closure with
+/// mutable access to both the world and the loop (so handlers can schedule
+/// follow-up events).
+///
+/// # Examples
+///
+/// ```
+/// use simkernel::{EventLoop, Nanos};
+///
+/// let mut looped = EventLoop::new();
+/// looped.schedule_at(Nanos::from_micros(5), |count: &mut u32, lp| {
+///     *count += 1;
+///     lp.schedule_after(Nanos::from_micros(5), |count, _| *count += 10);
+/// });
+/// let mut count = 0;
+/// looped.run_until(&mut count, Nanos::from_millis(1));
+/// assert_eq!(count, 11);
+/// ```
+pub struct EventLoop<W> {
+    queue: EventQueue<EventFn<W>>,
+    now: Nanos,
+    executed: u64,
+}
+
+impl<W> Default for EventLoop<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> EventLoop<W> {
+    /// Creates an event loop with the clock at zero.
+    pub fn new() -> Self {
+        EventLoop {
+            queue: EventQueue::new(),
+            now: Nanos::ZERO,
+            executed: 0,
+        }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Returns how many events have been executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Returns the number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` at absolute time `at`. Scheduling in the past executes
+    /// at the current time instead (the clock never runs backwards).
+    pub fn schedule_at<F>(&mut self, at: Nanos, f: F)
+    where
+        F: FnOnce(&mut W, &mut EventLoop<W>) + 'static,
+    {
+        self.queue.schedule(at.max(self.now), Box::new(f));
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_after<F>(&mut self, delay: Nanos, f: F)
+    where
+        F: FnOnce(&mut W, &mut EventLoop<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, f);
+    }
+
+    /// Runs events until the queue drains or the clock passes `deadline`.
+    ///
+    /// Events stamped exactly at `deadline` still execute; the first event
+    /// strictly after it is left pending and the clock is advanced to
+    /// `deadline`. Returns the number of events executed by this call.
+    pub fn run_until(&mut self, world: &mut W, deadline: Nanos) -> u64 {
+        let mut ran = 0;
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (at, f) = self.queue.pop().expect("peeked event must exist");
+            self.now = at;
+            f(world, self);
+            self.executed += 1;
+            ran += 1;
+        }
+        // Advance the clock to the deadline even if the queue drained early,
+        // except for the "run forever" sentinel used by `run_to_completion`.
+        if deadline != Nanos::MAX && deadline > self.now {
+            self.now = deadline;
+        }
+        ran
+    }
+
+    /// Runs all pending events to completion (use only for workloads that
+    /// terminate; an event chain that reschedules forever will not return).
+    pub fn run_to_completion(&mut self, world: &mut W) -> u64 {
+        self.run_until(world, Nanos::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), 1);
+        q.schedule(Nanos::from_nanos(10), 2);
+        q.schedule(Nanos::from_nanos(10), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(30), "late");
+        q.schedule(Nanos::from_nanos(20), "early");
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(20)));
+        assert_eq!(q.pop().unwrap().0, Nanos::from_nanos(20));
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn loop_respects_deadline() {
+        let mut lp: EventLoop<Vec<u64>> = EventLoop::new();
+        for i in 1..=5u64 {
+            lp.schedule_at(Nanos::from_micros(i), move |w, _| w.push(i));
+        }
+        let mut world = Vec::new();
+        let ran = lp.run_until(&mut world, Nanos::from_micros(3));
+        assert_eq!(ran, 3);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(lp.now(), Nanos::from_micros(3));
+        lp.run_to_completion(&mut world);
+        assert_eq!(world, vec![1, 2, 3, 4, 5]);
+        assert_eq!(lp.executed(), 5);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut lp: EventLoop<u32> = EventLoop::new();
+        lp.schedule_at(Nanos::from_micros(10), |w, lp2| {
+            *w += 1;
+            // Attempt to schedule before the current time.
+            lp2.schedule_at(Nanos::from_micros(1), |w, _| *w += 100);
+        });
+        let mut w = 0;
+        lp.run_to_completion(&mut w);
+        assert_eq!(w, 101);
+    }
+
+    #[test]
+    fn clock_advances_to_deadline_when_idle() {
+        let mut lp: EventLoop<()> = EventLoop::new();
+        lp.run_until(&mut (), Nanos::from_millis(7));
+        assert_eq!(lp.now(), Nanos::from_millis(7));
+    }
+}

@@ -1,0 +1,200 @@
+//! A bounded in-memory kernel log, the sink for the `REPORT` action (A1).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::Nanos;
+
+/// Log severity, ordered from least to most severe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LogLevel {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Routine information.
+    Info,
+    /// Something unexpected but tolerable (e.g. a loose guardrail firing).
+    Warn,
+    /// A property violation or other serious condition.
+    Error,
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogLevel::Debug => "DEBUG",
+            LogLevel::Info => "INFO",
+            LogLevel::Warn => "WARN",
+            LogLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One log record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogRecord {
+    /// Simulated time of the record.
+    pub at: Nanos,
+    /// Severity.
+    pub level: LogLevel,
+    /// The subsystem or guardrail that emitted the record.
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.source, self.message
+        )
+    }
+}
+
+/// A fixed-capacity ring of log records; oldest records are evicted first.
+///
+/// The `REPORT` action must not let a chatty guardrail exhaust kernel
+/// memory, so the log is bounded and tracks how many records were dropped.
+///
+/// # Examples
+///
+/// ```
+/// use simkernel::{KernelLog, LogLevel, Nanos};
+///
+/// let mut log = KernelLog::with_capacity(2);
+/// log.log(Nanos::ZERO, LogLevel::Info, "gr", "one");
+/// log.log(Nanos::ZERO, LogLevel::Info, "gr", "two");
+/// log.log(Nanos::ZERO, LogLevel::Warn, "gr", "three");
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.dropped(), 1);
+/// assert_eq!(log.records().next().unwrap().message, "two");
+/// ```
+#[derive(Debug)]
+pub struct KernelLog {
+    records: VecDeque<LogRecord>,
+    capacity: usize,
+    dropped: u64,
+    min_level: LogLevel,
+}
+
+impl Default for KernelLog {
+    fn default() -> Self {
+        Self::with_capacity(65_536)
+    }
+}
+
+impl KernelLog {
+    /// Creates a log holding at most `capacity` records (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        KernelLog {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            min_level: LogLevel::Debug,
+        }
+    }
+
+    /// Sets the minimum severity that is retained; lower levels are ignored.
+    ///
+    /// The `REPORT` action description in the paper mentions "increasing
+    /// logging levels generally" as a response — this is the knob it turns.
+    pub fn set_min_level(&mut self, level: LogLevel) {
+        self.min_level = level;
+    }
+
+    /// Returns the current minimum retained severity.
+    pub fn min_level(&self) -> LogLevel {
+        self.min_level
+    }
+
+    /// Appends a record, evicting the oldest if at capacity.
+    pub fn log(&mut self, at: Nanos, level: LogLevel, source: &str, message: impl Into<String>) {
+        if level < self.min_level {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(LogRecord {
+            at,
+            level,
+            source: source.to_string(),
+            message: message.into(),
+        });
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter()
+    }
+
+    /// Returns the number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Returns how many records were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns records from `source`, oldest first.
+    pub fn from_source<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a LogRecord> {
+        self.records.iter().filter(move |r| r.source == source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filtering_applies_at_append_time() {
+        let mut log = KernelLog::with_capacity(10);
+        log.set_min_level(LogLevel::Warn);
+        log.log(Nanos::ZERO, LogLevel::Info, "a", "skipped");
+        log.log(Nanos::ZERO, LogLevel::Error, "a", "kept");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records().next().unwrap().level, LogLevel::Error);
+        assert_eq!(log.min_level(), LogLevel::Warn);
+    }
+
+    #[test]
+    fn source_filter_works() {
+        let mut log = KernelLog::default();
+        log.log(Nanos::ZERO, LogLevel::Info, "gr-a", "x");
+        log.log(Nanos::ZERO, LogLevel::Info, "gr-b", "y");
+        log.log(Nanos::ZERO, LogLevel::Info, "gr-a", "z");
+        let msgs: Vec<_> = log.from_source("gr-a").map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["x", "z"]);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let rec = LogRecord {
+            at: Nanos::from_millis(5),
+            level: LogLevel::Warn,
+            source: "gr".into(),
+            message: "rate high".into(),
+        };
+        assert_eq!(format!("{rec}"), "[5.000ms WARN gr] rate high");
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let mut log = KernelLog::with_capacity(0);
+        log.log(Nanos::ZERO, LogLevel::Info, "a", "1");
+        log.log(Nanos::ZERO, LogLevel::Info, "a", "2");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 1);
+        assert!(!log.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! Lightweight metric helpers shared by the subsystem simulations.
+
+use std::collections::VecDeque;
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use simkernel::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation. Non-finite values are ignored (and counted
+    /// separately would be over-engineering: workloads only produce finite
+    /// numbers; a NaN here is a bug upstream that the tests catch).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A sliding-window moving average over the last `window` observations.
+///
+/// This is the statistic plotted in the paper's Figure 2 ("moving average of
+/// I/O latencies").
+#[derive(Clone, Debug)]
+pub struct MovingAverage {
+    window: usize,
+    values: VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `window` values (minimum 1).
+    pub fn new(window: usize) -> Self {
+        MovingAverage {
+            window: window.max(1),
+            values: VecDeque::new(),
+            sum: 0.0,
+        }
+    }
+
+    /// Adds an observation and returns the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        if x.is_finite() {
+            self.values.push_back(x);
+            self.sum += x;
+            if self.values.len() > self.window {
+                if let Some(old) = self.values.pop_front() {
+                    self.sum -= old;
+                }
+            }
+        }
+        self.value()
+    }
+
+    /// Returns the current average (0 when empty).
+    pub fn value(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum / self.values.len() as f64
+        }
+    }
+
+    /// Returns how many observations are currently in the window.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no observations have been made.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns `true` once the window is fully populated.
+    pub fn is_warm(&self) -> bool {
+        self.values.len() == self.window
+    }
+}
+
+/// Jain's fairness index over per-entity allocations.
+///
+/// Returns a value in `(0, 1]`; 1 means perfectly fair. Used by the P6
+/// fairness guardrails over scheduler CPU shares and link bandwidth shares.
+///
+/// # Examples
+///
+/// ```
+/// use simkernel::JainIndex;
+///
+/// assert!((JainIndex::of(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+/// assert!(JainIndex::of(&[1.0, 0.0, 0.0]) < 0.34);
+/// ```
+pub struct JainIndex;
+
+impl JainIndex {
+    /// Computes the index; empty or all-zero inputs yield 1.0 (vacuously fair).
+    pub fn of(shares: &[f64]) -> f64 {
+        let n = shares.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: f64 = shares.iter().sum();
+        let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+        if sum_sq <= 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_ignores_non_finite() {
+        let mut s = RunningStats::new();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(3.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        b.push(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 5.0);
+        // Merging empty into populated is a no-op.
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn moving_average_slides() {
+        let mut m = MovingAverage::new(3);
+        assert_eq!(m.push(3.0), 3.0);
+        assert_eq!(m.push(6.0), 4.5);
+        assert_eq!(m.push(9.0), 6.0);
+        assert!(m.is_warm());
+        // Window slides: [6, 9, 12].
+        assert_eq!(m.push(12.0), 9.0);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn moving_average_degenerate_cases() {
+        let mut m = MovingAverage::new(0);
+        assert_eq!(m.value(), 0.0);
+        assert!(m.is_empty());
+        m.push(f64::NAN);
+        assert!(m.is_empty());
+        m.push(2.0);
+        m.push(4.0);
+        // Window clamped to 1.
+        assert_eq!(m.value(), 4.0);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(JainIndex::of(&[]), 1.0);
+        assert_eq!(JainIndex::of(&[0.0, 0.0]), 1.0);
+        let skewed = JainIndex::of(&[10.0, 1.0, 1.0, 1.0]);
+        assert!(skewed > 0.0 && skewed < 1.0);
+        let fair = JainIndex::of(&[5.0; 8]);
+        assert!((fair - 1.0).abs() < 1e-12);
+    }
+}

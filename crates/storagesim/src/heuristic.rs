@@ -1,0 +1,73 @@
+//! Baseline (non-learned) submission policies.
+//!
+//! The paper's guardrail example falls back to "default behavior" when the
+//! model misbehaves (§5). These are the defaults: the plain always-primary
+//! policy every storage stack starts with, and a simple queue-depth
+//! threshold heuristic representative of hand-tuned failover logic.
+
+use crate::linnos::NUM_FEATURES;
+
+/// The default policy: never predict slow, i.e. always submit to the
+/// primary replica. This is exactly LinnOS-disabled behaviour.
+pub fn always_primary(_features: &[f64]) -> f64 {
+    0.0
+}
+
+/// A hand-coded heuristic: predict slow when the queue is deep or the
+/// recent history already shows slow completions.
+///
+/// Like most OS heuristics it "relies on limited history and state" and is
+/// "able to start making decisions immediately" (§3.2) — no training needed.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueThresholdHeuristic {
+    /// Queue depth above which the device is presumed busy.
+    pub max_queue_depth: f64,
+    /// Recent-latency average (µs) above which the device is presumed slow.
+    pub max_recent_latency_us: f64,
+}
+
+impl Default for QueueThresholdHeuristic {
+    fn default() -> Self {
+        QueueThresholdHeuristic {
+            max_queue_depth: 8.0,
+            max_recent_latency_us: 400.0,
+        }
+    }
+}
+
+impl QueueThresholdHeuristic {
+    /// Returns 1.0 (slow) or 0.0 (fast) for LinnOS feature vectors.
+    pub fn decide(&self, features: &[f64]) -> f64 {
+        debug_assert!(features.len() >= NUM_FEATURES);
+        let queue_depth = features[0];
+        let recent: f64 = features[1..NUM_FEATURES].iter().sum::<f64>() / 4.0;
+        if queue_depth > self.max_queue_depth || recent > self.max_recent_latency_us {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_primary_never_fails_over() {
+        assert_eq!(always_primary(&[100.0, 9999.0, 9999.0, 9999.0, 9999.0]), 0.0);
+    }
+
+    #[test]
+    fn heuristic_triggers_on_deep_queue() {
+        let h = QueueThresholdHeuristic::default();
+        assert_eq!(h.decide(&[20.0, 90.0, 90.0, 90.0, 90.0]), 1.0);
+        assert_eq!(h.decide(&[1.0, 90.0, 90.0, 90.0, 90.0]), 0.0);
+    }
+
+    #[test]
+    fn heuristic_triggers_on_slow_history() {
+        let h = QueueThresholdHeuristic::default();
+        assert_eq!(h.decide(&[1.0, 900.0, 800.0, 950.0, 700.0]), 1.0);
+    }
+}

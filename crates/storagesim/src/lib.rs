@@ -1,0 +1,37 @@
+//! Flash-storage substrate: the LinnOS reproduction setting (§5, Figure 2).
+//!
+//! LinnOS (Hao et al., OSDI '20) predicts per-I/O latency on flash SSDs with
+//! a light neural network; storage clusters with built-in failover (flash
+//! RAID) use the prediction to *revoke* an I/O headed for a busy device and
+//! re-issue it to a replica. A misprediction can submit an I/O to a slow
+//! disk — a **false submit** — and a high false-submit rate erases the
+//! benefit of the learned policy.
+//!
+//! This crate implements the whole setting:
+//!
+//! - [`device`]: a flash device with queueing and garbage-collection pauses
+//!   (the source of latency bimodality that makes prediction valuable);
+//! - [`workload`]: open-loop arrival processes with controllable
+//!   distribution shift;
+//! - [`linnos`]: the LinnOS-style MLP classifier over queue-depth +
+//!   latency-history features, trained online;
+//! - [`heuristic`]: baseline submission policies (always-primary, and a
+//!   queue-threshold failover);
+//! - [`mod@array`]: the 2-replica flash array with revoke/failover submission;
+//! - [`sim`]: the end-to-end simulation that wires the array to the
+//!   guardrail monitor engine and produces Figure 2's latency series.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod device;
+pub mod heuristic;
+pub mod linnos;
+pub mod sim;
+pub mod workload;
+
+pub use array::{FlashArray, SubmitOutcome};
+pub use device::{FlashDevice, FlashDeviceConfig};
+pub use linnos::{LinnosClassifier, LinnosConfig};
+pub use sim::{run_fig2, LinnosSim, LinnosSimConfig, SimReport};
+pub use workload::{Workload, WorkloadConfig};

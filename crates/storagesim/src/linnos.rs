@@ -1,0 +1,277 @@
+//! The LinnOS-style learned I/O latency classifier.
+//!
+//! LinnOS trains "a light neural network" per device over cheap host-visible
+//! features — the current queue depth and the latencies of the most recent
+//! completed I/Os — to predict whether the *next* I/O will be fast or slow.
+//! This module reproduces that model with [`mlkit`]'s MLP (the same
+//! `features → 16 → 16 → 1` shape), trained online from completion feedback.
+
+use guardrails::policy::LearnedPolicy;
+use mlkit::{Adam, Loss, Matrix, Mlp, MlpConfig, OnlineScaler, ReplayBuffer};
+use simkernel::Nanos;
+
+/// Number of model features: queue depth + 4-deep latency history.
+pub const NUM_FEATURES: usize = 5;
+
+/// Configuration of the classifier.
+#[derive(Clone, Copy, Debug)]
+pub struct LinnosConfig {
+    /// Latency above which an I/O counts as "slow" (ground-truth label and
+    /// false-submit threshold).
+    pub slow_threshold: Nanos,
+    /// Replay buffer capacity.
+    pub buffer: usize,
+    /// Minibatch size per training round.
+    pub batch: usize,
+    /// Training rounds per `train_round` call.
+    pub epochs: usize,
+    /// Decision threshold on the predicted slow-probability.
+    pub decision_threshold: f64,
+    /// Weight-init / sampling seed.
+    pub seed: u64,
+}
+
+impl Default for LinnosConfig {
+    fn default() -> Self {
+        LinnosConfig {
+            slow_threshold: Nanos::from_micros(300),
+            buffer: 8192,
+            batch: 128,
+            epochs: 60,
+            decision_threshold: 0.3,
+            seed: 0x0011_a905,
+        }
+    }
+}
+
+/// The learned fast/slow classifier.
+///
+/// # Examples
+///
+/// ```
+/// use storagesim::{LinnosClassifier, LinnosConfig};
+///
+/// let mut clf = LinnosClassifier::new(LinnosConfig::default());
+/// // Teach it "deep queue means slow".
+/// for i in 0..2000 {
+///     let deep = i % 2 == 0;
+///     let features = if deep { [30.0, 400.0, 380.0, 420.0, 390.0] } else { [0.5, 95.0, 88.0, 92.0, 90.0] };
+///     clf.observe(&features, deep);
+/// }
+/// clf.train_round();
+/// assert!(clf.predict_slow(&[30.0, 400.0, 380.0, 420.0, 390.0]));
+/// assert!(!clf.predict_slow(&[0.5, 95.0, 88.0, 92.0, 90.0]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinnosClassifier {
+    config: LinnosConfig,
+    net: Mlp,
+    scaler: OnlineScaler,
+    buffer: ReplayBuffer,
+    optimizer: Adam,
+    trained: bool,
+    inferences: u64,
+    retrains: u64,
+}
+
+impl LinnosClassifier {
+    /// Creates an untrained classifier.
+    pub fn new(config: LinnosConfig) -> Self {
+        LinnosClassifier {
+            net: Mlp::new(MlpConfig::linnos(NUM_FEATURES, config.seed)),
+            scaler: OnlineScaler::new(NUM_FEATURES),
+            buffer: ReplayBuffer::new(config.buffer),
+            optimizer: Adam::new(0.005),
+            trained: false,
+            inferences: 0,
+            retrains: 0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinnosConfig {
+        &self.config
+    }
+
+    /// Records a completed I/O's features and ground-truth label.
+    pub fn observe(&mut self, features: &[f64; NUM_FEATURES], was_slow: bool) {
+        self.scaler.observe(features);
+        self.buffer
+            .push(features.to_vec(), if was_slow { 1.0 } else { 0.0 });
+    }
+
+    /// Runs one training round over replay-buffer minibatches.
+    ///
+    /// Returns the final minibatch loss, or `None` when the buffer is empty.
+    pub fn train_round(&mut self) -> Option<f64> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let mut last = None;
+        for epoch in 0..self.config.epochs {
+            let sample = self
+                .buffer
+                .sample(self.config.batch, self.config.seed ^ (epoch as u64) ^ self.retrains);
+            let mut x = Vec::with_capacity(sample.len() * NUM_FEATURES);
+            let mut y = Vec::with_capacity(sample.len());
+            for (features, label) in &sample {
+                x.extend(self.scaler.transform(features));
+                y.push(*label);
+            }
+            let xm = Matrix::from_vec(sample.len(), NUM_FEATURES, x);
+            let ym = Matrix::from_vec(sample.len(), 1, y);
+            last = Some(self.net.train_batch(&xm, &ym, Loss::Bce, &mut self.optimizer));
+        }
+        self.trained = true;
+        last
+    }
+
+    /// Predicted probability that the next I/O is slow (0.0 untrained —
+    /// an untrained model optimistically predicts fast, like LinnOS before
+    /// its first training round).
+    pub fn predict_proba(&mut self, features: &[f64; NUM_FEATURES]) -> f64 {
+        self.inferences += 1;
+        if !self.trained {
+            return 0.0;
+        }
+        let z = self.scaler.transform(features);
+        self.net.predict_one(&z)[0]
+    }
+
+    /// Hard fast/slow decision.
+    pub fn predict_slow(&mut self, features: &[f64; NUM_FEATURES]) -> bool {
+        self.predict_proba(features) >= self.config.decision_threshold
+    }
+
+    /// Whether at least one training round has run.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Total inferences served.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Total retrains performed.
+    pub fn retrains(&self) -> u64 {
+        self.retrains
+    }
+
+    /// Full retrain: reinitializes the network and retrains on the current
+    /// buffer contents (the `RETRAIN` action's implementation).
+    pub fn retrain(&mut self) {
+        self.retrains += 1;
+        self.net.reinitialize(self.config.seed ^ (0x5eed << 8) ^ self.retrains);
+        self.optimizer = Adam::new(0.005);
+        self.train_round();
+    }
+}
+
+impl LearnedPolicy for LinnosClassifier {
+    fn decide(&mut self, features: &[f64]) -> f64 {
+        let mut f = [0.0; NUM_FEATURES];
+        f.copy_from_slice(&features[..NUM_FEATURES]);
+        self.predict_proba(&f)
+    }
+
+    fn inference_cost(&self) -> u64 {
+        // A 5-16-16-1 MLP in fixed point: ~4µs on the paper's testbed scale.
+        4_000
+    }
+
+    fn retrain(&mut self) {
+        LinnosClassifier::retrain(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_features(i: u64) -> [f64; NUM_FEATURES] {
+        let wiggle = (i % 7) as f64;
+        [0.2 + wiggle * 0.1, 90.0 + wiggle, 88.0, 92.0, 89.0]
+    }
+
+    fn slow_features(i: u64) -> [f64; NUM_FEATURES] {
+        let wiggle = (i % 5) as f64;
+        [20.0 + wiggle, 900.0 + wiggle * 10.0, 850.0, 1100.0, 950.0]
+    }
+
+    fn trained() -> LinnosClassifier {
+        let mut clf = LinnosClassifier::new(LinnosConfig::default());
+        for i in 0..3000 {
+            if i % 2 == 0 {
+                clf.observe(&fast_features(i), false);
+            } else {
+                clf.observe(&slow_features(i), true);
+            }
+        }
+        clf.train_round();
+        clf
+    }
+
+    #[test]
+    fn untrained_model_predicts_fast() {
+        let mut clf = LinnosClassifier::new(LinnosConfig::default());
+        assert!(!clf.is_trained());
+        assert_eq!(clf.predict_proba(&fast_features(0)), 0.0);
+        assert!(!clf.predict_slow(&slow_features(0)));
+    }
+
+    #[test]
+    fn learns_queue_latency_separation() {
+        let mut clf = trained();
+        let mut correct = 0;
+        for i in 0..200 {
+            if clf.predict_slow(&slow_features(i)) {
+                correct += 1;
+            }
+            if !clf.predict_slow(&fast_features(i)) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 360, "accuracy {correct}/400");
+        assert!(clf.is_trained());
+        assert!(clf.inferences() >= 400);
+    }
+
+    #[test]
+    fn train_round_on_empty_buffer_is_none() {
+        let mut clf = LinnosClassifier::new(LinnosConfig::default());
+        assert_eq!(clf.train_round(), None);
+    }
+
+    #[test]
+    fn retrain_recovers_from_label_flip() {
+        let mut clf = trained();
+        // The world inverts: old "fast" features now mean slow. Refill the
+        // buffer with the new truth and retrain.
+        for i in 0..6000 {
+            if i % 2 == 0 {
+                clf.observe(&fast_features(i), true);
+            } else {
+                clf.observe(&slow_features(i), false);
+            }
+        }
+        clf.retrain();
+        assert_eq!(clf.retrains(), 1);
+        let mut correct = 0;
+        for i in 0..100 {
+            if clf.predict_slow(&fast_features(i)) {
+                correct += 1;
+            }
+        }
+        assert!(correct > 80, "post-retrain accuracy {correct}/100");
+    }
+
+    #[test]
+    fn learned_policy_trait_roundtrip() {
+        let mut clf = trained();
+        let p = LearnedPolicy::decide(&mut clf, &slow_features(0));
+        assert!(p > 0.5);
+        assert!(clf.inference_cost() > 0);
+    }
+}

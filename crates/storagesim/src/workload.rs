@@ -1,0 +1,151 @@
+//! Open-loop I/O arrival processes with controllable distribution shift.
+
+use simkernel::{DetRng, Nanos};
+
+/// Configuration of an arrival process.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Mean arrival rate in I/Os per second.
+    pub iops: f64,
+    /// Burstiness: probability that an arrival starts a burst.
+    pub burst_probability: f64,
+    /// Number of extra back-to-back arrivals in a burst.
+    pub burst_length: u32,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            iops: 4_000.0,
+            burst_probability: 0.02,
+            burst_length: 4,
+        }
+    }
+}
+
+/// An open-loop Poisson(+burst) arrival generator.
+///
+/// # Examples
+///
+/// ```
+/// use storagesim::{Workload, WorkloadConfig};
+/// use simkernel::Nanos;
+///
+/// let mut w = Workload::new(WorkloadConfig::default(), 11);
+/// let arrivals = w.arrivals_until(Nanos::from_millis(100));
+/// // 5k IOPS for 100ms is about 500 arrivals.
+/// assert!(arrivals.len() > 300 && arrivals.len() < 800, "{}", arrivals.len());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Workload {
+    config: WorkloadConfig,
+    rng: DetRng,
+    next: Nanos,
+    pending_burst: u32,
+}
+
+impl Workload {
+    /// Creates a generator with its own RNG stream.
+    pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        Workload {
+            config,
+            rng: DetRng::seed(seed),
+            next: Nanos::ZERO,
+            pending_burst: 0,
+        }
+    }
+
+    /// Changes the arrival process mid-run (workload shift).
+    pub fn set_config(&mut self, config: WorkloadConfig) {
+        self.config = config;
+    }
+
+    /// Returns the next arrival time.
+    pub fn next_arrival(&mut self) -> Nanos {
+        let at = self.next;
+        if self.pending_burst > 0 {
+            // Bursts arrive back-to-back at microsecond spacing.
+            self.pending_burst -= 1;
+            self.next = at + Nanos::from_micros(1);
+            return at;
+        }
+        if self.rng.chance(self.config.burst_probability) {
+            self.pending_burst = self.config.burst_length;
+        }
+        let gap = self.rng.exp(self.config.iops.max(1e-9) / 1e9);
+        self.next = at + Nanos::from_nanos(gap.max(1.0) as u64);
+        at
+    }
+
+    /// Collects all arrivals strictly before `end`.
+    pub fn arrivals_until(&mut self, end: Nanos) -> Vec<Nanos> {
+        let mut out = Vec::new();
+        loop {
+            if self.next >= end {
+                break;
+            }
+            out.push(self.next_arrival());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_approximately_right() {
+        let mut w = Workload::new(
+            WorkloadConfig {
+                iops: 10_000.0,
+                burst_probability: 0.0,
+                burst_length: 0,
+            },
+            1,
+        );
+        let n = w.arrivals_until(Nanos::from_secs(1)).len() as f64;
+        assert!((n - 10_000.0).abs() < 600.0, "n = {n}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut w = Workload::new(WorkloadConfig::default(), 2);
+        let arrivals = w.arrivals_until(Nanos::from_millis(50));
+        for pair in arrivals.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn bursts_create_microsecond_clusters() {
+        let mut w = Workload::new(
+            WorkloadConfig {
+                iops: 1_000.0,
+                burst_probability: 1.0,
+                burst_length: 5,
+            },
+            3,
+        );
+        let arrivals = w.arrivals_until(Nanos::from_millis(100));
+        let tight_gaps = arrivals
+            .windows(2)
+            .filter(|p| p[1] - p[0] <= Nanos::from_micros(1))
+            .count();
+        assert!(tight_gaps > arrivals.len() / 2, "{tight_gaps}/{}", arrivals.len());
+    }
+
+    #[test]
+    fn config_shift_changes_rate() {
+        let mut w = Workload::new(WorkloadConfig::default(), 4);
+        let before = w.arrivals_until(Nanos::from_millis(100)).len();
+        w.set_config(WorkloadConfig {
+            iops: 50_000.0,
+            ..WorkloadConfig::default()
+        });
+        let after = w
+            .arrivals_until(Nanos::from_millis(200))
+            .len();
+        assert!(after > before * 3, "{before} -> {after}");
+    }
+}

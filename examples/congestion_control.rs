@@ -1,0 +1,63 @@
+//! The P2 scenario: a learned congestion controller collapses under noisy
+//! RTT measurements; the robustness guardrail falls back to CUBIC.
+//!
+//! Run with: `cargo run --release --example congestion_control`
+
+use guardrails_repro::netsim::{
+    run_cc_sim, run_fairness_sim, CcPolicyKind, CcSimConfig, FairnessSimConfig,
+};
+use guardrails_repro::sparkline;
+
+fn main() {
+    let cubic = run_cc_sim(CcSimConfig {
+        policy: CcPolicyKind::Cubic,
+        ..CcSimConfig::default()
+    });
+    let unguarded = run_cc_sim(CcSimConfig::default());
+    let guarded = run_cc_sim(CcSimConfig {
+        with_guardrail: true,
+        ..CcSimConfig::default()
+    });
+
+    println!("controller             clean util  noisy util  noisy tail  violations");
+    for (name, r) in [
+        ("cubic", &cubic),
+        ("learned (unguarded)", &unguarded),
+        ("learned + guardrail", &guarded),
+    ] {
+        println!(
+            "{name:<22} {:>9.2}  {:>9.2}  {:>9.2}  {:>10}",
+            r.clean_utilization, r.noisy_utilization, r.noisy_tail_utilization, r.violations,
+        );
+    }
+
+    // The utilization time series, post-training only (the interesting part).
+    let tail = |r: &guardrails_repro::netsim::CcReport| -> Vec<f64> {
+        let skip = r.series.len().saturating_sub(80);
+        r.series.iter().skip(skip).map(|&(_, v)| v).collect()
+    };
+    println!("\nutilization (last 80 samples; RTT noise starts mid-way):");
+    println!("  learned + guardrail {}", sparkline(&tail(&guarded)));
+    println!("  learned (unguarded) {}", sparkline(&tail(&unguarded)));
+    println!(
+        "\nlearned controller active at end: guarded {}  unguarded {}",
+        guarded.learned_active_at_end, unguarded.learned_active_at_end
+    );
+
+    // The P6 flavour: the same controller sharing a link with an AIMD flow
+    // starves itself (the end-to-end starvation failure the paper cites);
+    // the Jain-index guardrail restores the split.
+    let fair_un = run_fairness_sim(FairnessSimConfig::default());
+    let fair_g = run_fairness_sim(FairnessSimConfig {
+        with_guardrail: true,
+        ..FairnessSimConfig::default()
+    });
+    println!("\nsharing the link with an AIMD flow (fairness guardrail):");
+    println!(
+        "  unguarded: Jain {:.2}, learned share {:.0}%  |  guarded: Jain {:.2} ({} violations)",
+        fair_un.tail_jain,
+        fair_un.tail_shares[0] * 100.0,
+        fair_g.tail_jain,
+        fair_g.violations
+    );
+}

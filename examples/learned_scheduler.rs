@@ -1,0 +1,48 @@
+//! The P6 scenario: a learned shortest-predicted-burst scheduler starves
+//! batch tasks; the starvation-freedom guardrail corrects it with
+//! `DEPRIORITIZE`.
+//!
+//! Run with: `cargo run --release --example learned_scheduler`
+
+use guardrails_repro::schedsim::{run_sched_sim, SchedSimConfig, SchedulerKind};
+
+fn main() {
+    let baseline = run_sched_sim(SchedSimConfig {
+        scheduler: SchedulerKind::Cfs,
+        ..SchedSimConfig::default()
+    });
+    let unguarded = run_sched_sim(SchedSimConfig::default());
+    let guarded = run_sched_sim(SchedSimConfig {
+        with_guardrail: true,
+        ..SchedSimConfig::default()
+    });
+
+    println!("{:<24} {:>14}  {:>6}  {:>10}  {:>17}", "policy", "batch max wait", "jain", "violations", "deprioritizations");
+    for report in [&baseline, &unguarded, &guarded] {
+        let label = if report.violations > 0 || report.commands_applied > 0 {
+            format!("{} + guardrail", report.scheduler)
+        } else {
+            report.scheduler.to_string()
+        };
+        println!(
+            "{label:<24} {:>14}  {:>6.3}  {:>10}  {:>17}",
+            report.batch_max_wait.to_string(),
+            report.jain,
+            report.violations,
+            report.commands_applied,
+        );
+    }
+
+    println!("\nper-task outcome under the guarded learned scheduler:");
+    for task in &guarded.tasks {
+        println!(
+            "  {}  {}  cpu={}  max_wait={}  final nice={}{}",
+            task.id,
+            if task.batch { "batch      " } else { "interactive" },
+            task.cpu_time,
+            task.max_wait,
+            task.final_priority.nice(),
+            if task.killed { "  [killed]" } else { "" },
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! The Figure 2 scenario: LinnOS-style learned I/O latency prediction on a
+//! replicated flash array, with and without the false-submit guardrail.
+//!
+//! Prints the moving-average latency series of both runs as sparklines plus
+//! the guardrail trigger point — the textual rendering of the paper's
+//! Figure 2.
+//!
+//! Run with: `cargo run --release --example linnos_failover`
+
+use guardrails_repro::sparkline;
+use guardrails_repro::storagesim::{run_fig2, LinnosSimConfig};
+
+fn main() {
+    let config = LinnosSimConfig::default();
+    println!(
+        "warmup {}  healthy {}  shifted {}  (shift at {})",
+        config.warmup,
+        config.healthy,
+        config.shifted,
+        config.shift_at()
+    );
+    let (guarded, unguarded) = run_fig2(config.clone());
+
+    let gvals: Vec<f64> = guarded.series.iter().map(|&(_, v)| v).collect();
+    let uvals: Vec<f64> = unguarded.series.iter().map(|&(_, v)| v).collect();
+    println!("\nmoving average of I/O latencies (µs):");
+    println!("  LinnOS w/ guardrails {}", sparkline(&gvals));
+    println!("  LinnOS               {}", sparkline(&uvals));
+
+    match guarded.guardrail_triggered_at {
+        Some(at) => println!(
+            "\nfalse-submit guardrail triggered at {at} ({}s after the shift)",
+            (at - config.shift_at()).as_secs_f64()
+        ),
+        None => println!("\nguardrail did not trigger"),
+    }
+
+    println!("\nphase means (µs):");
+    println!(
+        "  healthy: guarded {:.0}  unguarded {:.0}",
+        guarded.healthy.mean_latency_us, unguarded.healthy.mean_latency_us
+    );
+    println!(
+        "  shifted: guarded {:.0}  unguarded {:.0}",
+        guarded.shifted.mean_latency_us, unguarded.shifted.mean_latency_us
+    );
+    println!(
+        "\nunguarded model's post-shift false-submit rate: {:.1}% (guardrail threshold: 5%)",
+        unguarded.shifted.false_submit_rate * 100.0
+    );
+    println!(
+        "ml_enabled at end: guarded {}  unguarded {}",
+        guarded.ml_enabled_at_end, unguarded.ml_enabled_at_end
+    );
+}

@@ -1,0 +1,45 @@
+//! The P3 + P4 scenario: learned tiered-memory placement extrapolates out
+//! of bounds and collapses under a write-random shift; the bounds guardrail
+//! and quality guardrail fall back and retrain.
+//!
+//! Run with: `cargo run --release --example tiered_memory`
+
+use guardrails_repro::memsim::sim::MemPolicyKind;
+use guardrails_repro::memsim::{run_tiering_sim, TieringSimConfig};
+
+fn main() {
+    let heuristic = run_tiering_sim(TieringSimConfig {
+        policy: MemPolicyKind::Heuristic,
+        ..TieringSimConfig::default()
+    });
+    let unguarded = run_tiering_sim(TieringSimConfig::default());
+    let guarded = run_tiering_sim(TieringSimConfig {
+        with_guardrails: true,
+        ..TieringSimConfig::default()
+    });
+
+    println!("policy                 phase1 hit  phase2 hit  phase2 tail  invalid allocs");
+    for (name, r) in [
+        ("lru-promote", &heuristic),
+        ("learned (unguarded)", &unguarded),
+        ("learned + guardrails", &guarded),
+    ] {
+        println!(
+            "{name:<22} {:>9.1}%  {:>9.1}%  {:>10.1}%  {:>14}",
+            r.phase1_hit_rate * 100.0,
+            r.phase2_hit_rate * 100.0,
+            r.phase2_tail_hit_rate * 100.0,
+            r.invalid_allocs,
+        );
+    }
+
+    println!(
+        "\nguarded run: {} violations, {} policy swaps, retrained: {}, learned active at end: {}",
+        guarded.violations, guarded.swaps, guarded.retrained, guarded.learned_active_at_end
+    );
+    println!(
+        "The P3 guardrail stops out-of-bounds placements at the first violation \
+         ({} rejected unguarded vs {} guarded)",
+        unguarded.invalid_allocs, guarded.invalid_allocs
+    );
+}

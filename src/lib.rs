@@ -1,0 +1,91 @@
+//! Umbrella crate for the OS Guardrails reproduction.
+//!
+//! The real APIs live in the workspace crates; this crate re-exports them
+//! for the runnable examples and cross-crate integration tests, and adds
+//! small result-reporting helpers shared by the experiment binaries.
+//!
+//! - [`guardrails`] — the framework (spec language → verified monitors).
+//! - [`simkernel`] — the simulated-kernel substrate.
+//! - [`mlkit`] — the from-scratch ML substrate.
+//! - [`storagesim`] — flash array + LinnOS (Figure 2).
+//! - [`schedsim`] — CPU scheduling (P6 / `DEPRIORITIZE`).
+//! - [`memsim`] — tiered memory (P3 / P4 / `RETRAIN`).
+//! - [`netsim`] — congestion control (P2 / `REPLACE`).
+//! - [`cachesim`] — cache replacement (P4 vs. random).
+
+#![warn(missing_docs)]
+
+pub use cachesim;
+pub use guardrails;
+pub use memsim;
+pub use mlkit;
+pub use netsim;
+pub use schedsim;
+pub use simkernel;
+pub use storagesim;
+
+use std::fmt::Write as _;
+
+/// Formats a two-column numeric series as CSV text (used by the example
+/// binaries to emit time series without plotting dependencies).
+///
+/// # Examples
+///
+/// ```
+/// let text = guardrails_repro::format_series(&[(0.0, 1.5), (1.0, 2.0)], "t", "v");
+/// assert!(text.starts_with("t,v\n"));
+/// assert!(text.contains("1.000,2.000"));
+/// ```
+pub fn format_series(series: &[(f64, f64)], x_name: &str, y_name: &str) -> String {
+    let mut out = format!("{x_name},{y_name}\n");
+    for (x, y) in series {
+        let _ = writeln!(out, "{x:.3},{y:.3}");
+    }
+    out
+}
+
+/// Renders a sparkline of a series (terminal-friendly "plot" for examples).
+///
+/// # Examples
+///
+/// ```
+/// let line = guardrails_repro::sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(line.chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_series_emits_csv() {
+        let text = format_series(&[(1.0, 2.0)], "x", "y");
+        assert_eq!(text, "x,y\n1.000,2.000\n");
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let line = sparkline(&[0.0, 1.0]);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series stays at the bottom without dividing by zero.
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁");
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests on core data-structure invariants: the feature
+//! store's windowed aggregates against naive reference implementations,
+//! histogram quantile bounds, drift statistics, and kernel-substrate types.
+
+use guardrails::spec::ast::AggKind;
+use guardrails::stats::{ks_statistic, psi};
+use guardrails::store::histogram::Histogram;
+use guardrails::store::window::WindowSeries;
+use guardrails::FeatureStore;
+use proptest::prelude::*;
+use simkernel::{JainIndex, MovingAverage, Nanos, Priority, RunningStats};
+
+fn arb_samples() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    proptest::collection::vec((0u64..10_000_000_000, -1e6..1e6f64), 1..200).prop_map(|mut v| {
+        v.sort_by_key(|&(t, _)| t);
+        v
+    })
+}
+
+/// Naive reference for the windowed aggregates.
+fn reference_aggregate(
+    samples: &[(u64, f64)],
+    kind: AggKind,
+    window_ns: u64,
+    now_ns: u64,
+) -> f64 {
+    let horizon = now_ns.saturating_sub(window_ns);
+    let vals: Vec<f64> = samples
+        .iter()
+        .filter(|&&(t, _)| t >= horizon && t <= now_ns)
+        .map(|&(_, v)| v)
+        .collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let n = vals.len() as f64;
+    match kind {
+        AggKind::Avg => vals.iter().sum::<f64>() / n,
+        AggKind::Sum => vals.iter().sum(),
+        AggKind::Count => n,
+        AggKind::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+        AggKind::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggKind::StdDev => {
+            if vals.len() < 2 {
+                0.0
+            } else {
+                let mean = vals.iter().sum::<f64>() / n;
+                (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+            }
+        }
+        AggKind::Rate => n / (window_ns as f64 / 1e9),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Window aggregates match a naive reference implementation.
+    #[test]
+    fn window_aggregates_match_reference(
+        samples in arb_samples(),
+        window_ns in 1u64..5_000_000_000,
+        kind_idx in 0usize..7,
+    ) {
+        let kind = [
+            AggKind::Avg, AggKind::Sum, AggKind::Count, AggKind::Min,
+            AggKind::Max, AggKind::StdDev, AggKind::Rate,
+        ][kind_idx];
+        let mut series = WindowSeries::new(Nanos::from_secs(100), 100_000);
+        for &(t, v) in &samples {
+            series.push(Nanos::from_nanos(t), v);
+        }
+        let now = samples.last().unwrap().0;
+        let got = series.aggregate(kind, Nanos::from_nanos(window_ns), Nanos::from_nanos(now));
+        let want = reference_aggregate(&samples, kind, window_ns, now);
+        let tolerance = 1e-6 * (1.0 + want.abs());
+        prop_assert!((got - want).abs() <= tolerance, "{kind:?}: got {got}, want {want}");
+    }
+
+    /// Windowed quantiles are bounded by the window's min/max and monotone in q.
+    #[test]
+    fn window_quantiles_bounded_and_monotone(
+        samples in arb_samples(),
+        q1 in 0.0..=1.0f64,
+        q2 in 0.0..=1.0f64,
+    ) {
+        let mut series = WindowSeries::new(Nanos::from_secs(100), 100_000);
+        for &(t, v) in &samples {
+            series.push(Nanos::from_nanos(t), v);
+        }
+        let now = Nanos::from_nanos(samples.last().unwrap().0);
+        let window = Nanos::from_secs(100);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let v_lo = series.quantile(lo, window, now);
+        let v_hi = series.quantile(hi, window, now);
+        prop_assert!(v_lo <= v_hi + 1e-12, "quantiles monotone: {v_lo} vs {v_hi}");
+        let min = series.aggregate(AggKind::Min, window, now);
+        let max = series.aggregate(AggKind::Max, window, now);
+        prop_assert!(v_lo >= min - 1e-12 && v_hi <= max + 1e-12);
+    }
+
+    /// Histogram quantiles are monotone in q, bounded by observed min/max,
+    /// and within one bucket's relative error of exact order statistics.
+    #[test]
+    fn histogram_quantiles_sound(values in proptest::collection::vec(0.0..1e9f64, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let estimate = h.quantile(q);
+            prop_assert!(estimate >= sorted[0] - 1e-9);
+            prop_assert!(estimate <= sorted[sorted.len() - 1] + 1e-9);
+            // Same nearest-rank convention as the histogram: the smallest
+            // value with cumulative count >= ceil(q * n).
+            let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize - 1).min(sorted.len() - 1);
+            let exact = sorted[rank];
+            // One bucket is ~15% relative width; allow two buckets of slack
+            // plus an absolute floor for the sub-1.0 underflow bucket.
+            if exact > 2.0 {
+                prop_assert!(
+                    estimate <= exact * 1.4 + 2.0 && estimate >= exact / 1.4 - 2.0,
+                    "q={q}: estimate {estimate} vs exact {exact}"
+                );
+            }
+        }
+        // Monotonicity across a q sweep.
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            prop_assert!(v >= last - 1e-9);
+            last = v;
+        }
+    }
+
+    /// The KS statistic is in [0, 1], zero on identical samples, symmetric.
+    #[test]
+    fn ks_statistic_properties(
+        a in proptest::collection::vec(-1e6..1e6f64, 1..100),
+        b in proptest::collection::vec(-1e6..1e6f64, 1..100),
+    ) {
+        let d = ks_statistic(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - ks_statistic(&b, &a)).abs() < 1e-12, "symmetry");
+        prop_assert!(ks_statistic(&a, &a) == 0.0, "identity");
+    }
+
+    /// PSI is non-negative and zero for identical samples.
+    #[test]
+    fn psi_properties(a in proptest::collection::vec(-1e6..1e6f64, 2..200)) {
+        prop_assert!(psi(&a, &a, 10) < 1e-9);
+        let shifted: Vec<f64> = a.iter().map(|x| x + 1e7).collect();
+        prop_assert!(psi(&a, &shifted, 10) >= 0.0);
+    }
+
+    /// RunningStats::merge is equivalent to sequential accumulation at any
+    /// split point.
+    #[test]
+    fn running_stats_merge_associative(
+        values in proptest::collection::vec(-1e6..1e6f64, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split % (values.len() + 1);
+        let mut all = RunningStats::new();
+        for &v in &values {
+            all.push(v);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &v in &values[..split] {
+            left.push(v);
+        }
+        for &v in &values[split..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-4 * (1.0 + all.variance()));
+    }
+
+    /// MovingAverage over a window of size w equals the mean of the last w values.
+    #[test]
+    fn moving_average_matches_tail_mean(
+        values in proptest::collection::vec(-1e3..1e3f64, 1..100),
+        window in 1usize..20,
+    ) {
+        let mut m = MovingAverage::new(window);
+        let mut last = 0.0;
+        for &v in &values {
+            last = m.push(v);
+        }
+        let tail: Vec<f64> = values.iter().rev().take(window).copied().collect();
+        let want = tail.iter().sum::<f64>() / tail.len() as f64;
+        prop_assert!((last - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    /// Jain's index is in (0, 1] and 1 exactly for equal shares.
+    #[test]
+    fn jain_index_bounds(shares in proptest::collection::vec(0.0..1e6f64, 1..50)) {
+        let j = JainIndex::of(&shares);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "j = {j}");
+        let equal = vec![7.5; shares.len()];
+        prop_assert!((JainIndex::of(&equal) - 1.0).abs() < 1e-12);
+    }
+
+    /// Priority always clamps into the legal nice range; weights are
+    /// monotone decreasing in nice level.
+    #[test]
+    fn priority_clamp_and_weight_monotone(a in -1000i32..1000, b in -1000i32..1000) {
+        let pa = Priority::new(a);
+        let pb = Priority::new(b);
+        prop_assert!((-20..=19).contains(&pa.nice()));
+        if pa.nice() < pb.nice() {
+            prop_assert!(pa.weight() > pb.weight());
+        }
+    }
+
+    /// The store's scalar layer: last write wins, incr sums exactly.
+    #[test]
+    fn store_scalar_semantics(writes in proptest::collection::vec(-1e9..1e9f64, 1..50)) {
+        let store = FeatureStore::new();
+        for &w in &writes {
+            store.save("k", w);
+        }
+        prop_assert_eq!(store.load("k"), writes.last().copied());
+        let store2 = FeatureStore::new();
+        let mut sum = 0.0;
+        for &w in &writes {
+            store2.incr("c", w);
+            sum += w;
+        }
+        prop_assert!((store2.load("c").unwrap() - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+    }
+}
