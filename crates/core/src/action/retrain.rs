@@ -8,6 +8,8 @@
 //! background thread, modelling the offline trainer.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
@@ -104,10 +106,18 @@ type Job = (String, Box<dyn FnOnce() + Send>);
 ///
 /// Jobs run on a dedicated thread in submission order, modelling the
 /// asynchronous offline trainer; the kernel-side caller never blocks.
+///
+/// By default the worker is *panic-isolated*: a job that panics is counted
+/// and discarded, and the worker keeps serving subsequent jobs. Without
+/// isolation (see [`AsyncRetrainer::with_protection`]) a single bad job
+/// unwinds the worker thread and every later retrain is silently lost —
+/// the unhardened behaviour the fault experiments contrast against.
 pub struct AsyncRetrainer {
     tx: Option<Sender<Job>>,
     handle: Option<std::thread::JoinHandle<()>>,
     completed: Arc<Mutex<Vec<String>>>,
+    panicked: Arc<AtomicU64>,
+    protected: bool,
 }
 
 impl Default for AsyncRetrainer {
@@ -117,22 +127,60 @@ impl Default for AsyncRetrainer {
 }
 
 impl AsyncRetrainer {
-    /// Spawns the background trainer thread.
+    /// Spawns the background trainer thread with panic isolation.
     pub fn new() -> Self {
+        Self::with_protection(true)
+    }
+
+    /// Spawns the trainer thread, optionally without panic isolation
+    /// (`protected = false` models the unhardened runtime).
+    pub fn with_protection(protected: bool) -> Self {
         let (tx, rx) = unbounded::<Job>();
         let completed = Arc::new(Mutex::new(Vec::new()));
         let completed_worker = Arc::clone(&completed);
+        let panicked = Arc::new(AtomicU64::new(0));
+        let panicked_worker = Arc::clone(&panicked);
         let handle = std::thread::spawn(move || {
             while let Ok((model, job)) = rx.recv() {
-                job();
-                completed_worker.lock().push(model);
+                if protected {
+                    match catch_unwind(AssertUnwindSafe(job)) {
+                        Ok(()) => completed_worker.lock().push(model),
+                        Err(_) => {
+                            // The job died; the worker must not. Count it —
+                            // a guardrail can watch the counter and REPORT.
+                            panicked_worker.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                } else {
+                    job();
+                    completed_worker.lock().push(model);
+                }
             }
         });
         AsyncRetrainer {
             tx: Some(tx),
             handle: Some(handle),
             completed,
+            panicked,
+            protected,
         }
+    }
+
+    /// How many jobs have panicked (always 0 without protection: the first
+    /// panic kills the worker before it can be counted).
+    pub fn panicked(&self) -> u64 {
+        self.panicked.load(Ordering::SeqCst)
+    }
+
+    /// Whether the worker isolates job panics.
+    pub fn is_protected(&self) -> bool {
+        self.protected
+    }
+
+    /// Whether the worker thread is still running (`false` after an
+    /// unprotected job panic or after shutdown).
+    pub fn worker_alive(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| !h.is_finished())
     }
 
     /// Submits a retraining job for `model`; returns immediately.
@@ -214,6 +262,69 @@ mod tests {
         }
         retrainer.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    /// Silences the default panic hook for the duration of a test that
+    /// provokes intentional job panics (keeps `cargo test` output clean).
+    fn with_quiet_panics(f: impl FnOnce()) {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        f();
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_worker() {
+        with_quiet_panics(|| {
+            let retrainer = AsyncRetrainer::new();
+            assert!(retrainer.is_protected());
+            retrainer.submit("good1", || {});
+            retrainer.submit("bad", || panic!("boom"));
+            retrainer.submit("good2", || {});
+            // Drain by polling: all three jobs get consumed.
+            while retrainer.completed().len() + (retrainer.panicked() as usize) < 3 {
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                retrainer.completed(),
+                vec!["good1".to_string(), "good2".to_string()]
+            );
+            assert_eq!(retrainer.panicked(), 1);
+            assert!(retrainer.worker_alive(), "worker survives the panic");
+            retrainer.shutdown();
+        });
+    }
+
+    #[test]
+    fn unprotected_worker_dies_on_panic() {
+        with_quiet_panics(|| {
+            let retrainer = AsyncRetrainer::with_protection(false);
+            assert!(!retrainer.is_protected());
+            retrainer.submit("bad", || panic!("boom"));
+            // The panic unwinds the worker; wait for the thread to finish.
+            while retrainer.worker_alive() {
+                std::thread::yield_now();
+            }
+            retrainer.submit("after", || {});
+            assert_eq!(retrainer.panicked(), 0, "nobody left to count it");
+            assert!(retrainer.completed().is_empty(), "later jobs are lost");
+        });
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_jobs() {
+        let retrainer = AsyncRetrainer::new();
+        let counter = Arc::new(AtomicU32::new(0));
+        for i in 0..16 {
+            let c = Arc::clone(&counter);
+            retrainer.submit(&format!("m{i}"), move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Shutdown must wait for every queued job, not just the running one.
+        retrainer.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
     }
 
     #[test]

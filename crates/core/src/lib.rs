@@ -62,6 +62,7 @@
 pub mod action;
 pub mod compile;
 pub mod error;
+pub mod fault;
 pub mod monitor;
 pub mod policy;
 pub mod prelude;

@@ -13,6 +13,7 @@ use crate::compile::{compile_str, CompiledAction, CompiledGuardrail};
 use crate::error::{GuardrailError, Result};
 use crate::monitor::hysteresis::{Hysteresis, HysteresisState};
 use crate::monitor::overhead::{OverheadAccount, OverheadReport};
+use crate::monitor::resilience::{FailMode, ResilienceConfig};
 use crate::monitor::violation::{TriggerKind, Violation, ViolationLog};
 use crate::policy::PolicyRegistry;
 use crate::store::FeatureStore;
@@ -33,6 +34,22 @@ pub struct EngineStats {
     pub trips: u64,
     /// Deferred commands emitted to the outbox.
     pub commands_emitted: u64,
+    /// Rule evaluations aborted by a fault (fuel exhaustion or panic).
+    pub rule_faults: u64,
+    /// Monitors auto-disabled by the watchdog.
+    pub watchdog_trips: u64,
+    /// `RETRAIN` retry attempts serviced (successful or not).
+    pub retrain_retries: u64,
+}
+
+/// A `RETRAIN` awaiting its backoff-scheduled retry.
+#[derive(Clone, Debug)]
+struct PendingRetrain {
+    guardrail: String,
+    model: String,
+    /// Retries already spent (0 = first retry pending).
+    attempt: u32,
+    next_attempt: Nanos,
 }
 
 struct Monitor {
@@ -44,6 +61,12 @@ struct Monitor {
     enabled: bool,
     /// Uninstalled monitors are tombstoned (their heap entries drain lazily).
     retired: bool,
+    /// Rule faults since the last clean evaluation (watchdog input).
+    consecutive_faults: u32,
+    /// Set once the watchdog disables this monitor.
+    watchdog_tripped: bool,
+    /// When set, a tripped monitor is re-enabled at this time.
+    probation_until: Option<Nanos>,
 }
 
 /// The guardrail monitor engine.
@@ -69,6 +92,11 @@ pub struct MonitorEngine {
     vm: Vm,
     now: Nanos,
     stats: EngineStats,
+    resilience: ResilienceConfig,
+    /// Dynamic per-evaluation rule fuel budget (fault-injection knob; the
+    /// verifier's static bound still applies regardless).
+    rule_fuel_limit: Option<u64>,
+    pending_retrains: Vec<PendingRetrain>,
 }
 
 impl Default for MonitorEngine {
@@ -100,12 +128,43 @@ impl MonitorEngine {
             vm: Vm::new(),
             now: Nanos::ZERO,
             stats: EngineStats::default(),
+            resilience: ResilienceConfig::default(),
+            rule_fuel_limit: None,
+            pending_retrains: Vec::new(),
         }
     }
 
     /// Replaces the retrain rate-limiting policy.
     pub fn set_retrain_limiter(&mut self, limiter: RetrainLimiter) {
         self.limiter = limiter;
+    }
+
+    /// Sets the fail-safe configuration (default: everything off).
+    pub fn set_resilience(&mut self, resilience: ResilienceConfig) {
+        self.resilience = resilience;
+    }
+
+    /// The current fail-safe configuration.
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.resilience
+    }
+
+    /// Caps rule evaluation at `limit` fuel per program (`None` = only the
+    /// verifier's static bound). Fault experiments shrink this to model a
+    /// starved monitoring budget.
+    pub fn set_rule_fuel_limit(&mut self, limit: Option<u64>) {
+        self.rule_fuel_limit = limit;
+    }
+
+    /// Whether the watchdog has disabled guardrail `name`.
+    pub fn watchdog_tripped(&self, name: &str) -> Result<bool> {
+        let idx = self.lookup(name)?;
+        Ok(self.monitors[idx].watchdog_tripped)
+    }
+
+    /// `RETRAIN` retries currently waiting on backoff.
+    pub fn pending_retrains(&self) -> usize {
+        self.pending_retrains.len()
     }
 
     /// The shared feature store.
@@ -153,6 +212,9 @@ impl MonitorEngine {
             overhead: OverheadAccount::new(),
             enabled: true,
             retired: false,
+            consecutive_faults: 0,
+            watchdog_tripped: false,
+            probation_until: None,
         });
         Ok(MonitorId(idx))
     }
@@ -203,9 +265,16 @@ impl MonitorEngine {
 
     /// Enables or disables a guardrail (incremental deployment, §3.3).
     /// Disabled monitors skip evaluation entirely but keep their timers.
+    /// Manually enabling a monitor also clears any watchdog trip state.
     pub fn set_enabled(&mut self, name: &str, enabled: bool) -> Result<()> {
         let idx = self.lookup(name)?;
-        self.monitors[idx].enabled = enabled;
+        let m = &mut self.monitors[idx];
+        m.enabled = enabled;
+        if enabled {
+            m.consecutive_faults = 0;
+            m.watchdog_tripped = false;
+            m.probation_until = None;
+        }
         Ok(())
     }
 
@@ -231,7 +300,8 @@ impl MonitorEngine {
     }
 
     /// Advances simulated time to `now`, evaluating every timer that comes
-    /// due on the way (in timestamp order).
+    /// due on the way (in timestamp order) and servicing any backoff-scheduled
+    /// `RETRAIN` retries that come due alongside them.
     pub fn advance_to(&mut self, now: Nanos) {
         while let Some(&Reverse((due, midx, tidx))) = self.timers.peek() {
             if due > now {
@@ -243,6 +313,7 @@ impl MonitorEngine {
                 continue;
             }
             self.now = due;
+            self.service_retrain_retries(due);
             self.evaluate(midx, due, &[], TriggerKind::Timer);
             let timer = self.monitors[midx].compiled.timers[tidx];
             let next = due + timer.interval;
@@ -251,6 +322,53 @@ impl MonitorEngine {
             }
         }
         self.now = self.now.max(now);
+        self.service_retrain_retries(self.now);
+    }
+
+    /// Re-requests pending `RETRAIN`s whose backoff has elapsed; emits the
+    /// command on acceptance, reschedules with doubled backoff on another
+    /// rejection, and gives up (with a log line) past the attempt budget.
+    fn service_retrain_retries(&mut self, now: Nanos) {
+        if self.pending_retrains.is_empty() {
+            return;
+        }
+        let Some(retry) = self.resilience.retrain_retry else {
+            self.pending_retrains.clear();
+            return;
+        };
+        let mut pending = std::mem::take(&mut self.pending_retrains);
+        pending.retain_mut(|p| {
+            if p.next_attempt > now {
+                return true;
+            }
+            self.stats.retrain_retries += 1;
+            if self.limiter.request(&p.model, now).is_ok() {
+                self.outbox.push(
+                    now,
+                    Command::Retrain {
+                        guardrail: p.guardrail.clone(),
+                        model: p.model.clone(),
+                    },
+                );
+                self.stats.commands_emitted += 1;
+                return false;
+            }
+            p.attempt += 1;
+            if p.attempt >= retry.max_attempts {
+                self.reports.info(
+                    now,
+                    &p.guardrail,
+                    format!(
+                        "RETRAIN {} gave up after {} attempts",
+                        p.model, retry.max_attempts
+                    ),
+                );
+                return false;
+            }
+            p.next_attempt = now + retry.backoff(p.attempt);
+            true
+        });
+        self.pending_retrains = pending;
     }
 
     /// Delivers a tracepoint firing to every guardrail attached to `hook`.
@@ -266,34 +384,80 @@ impl MonitorEngine {
     }
 
     fn evaluate(&mut self, midx: usize, now: Nanos, args: &[f64], trigger: TriggerKind) {
-        if !self.monitors[midx].enabled || self.monitors[midx].retired {
+        if self.monitors[midx].retired {
             return;
+        }
+        if !self.monitors[midx].enabled {
+            // A watchdog-tripped monitor on probation self-heals: re-enable
+            // and let this evaluation proceed. A persistent fault re-trips.
+            let due = self.monitors[midx]
+                .probation_until
+                .is_some_and(|p| now >= p);
+            if !(self.monitors[midx].watchdog_tripped && due) {
+                return;
+            }
+            let m = &mut self.monitors[midx];
+            m.enabled = true;
+            m.watchdog_tripped = false;
+            m.consecutive_faults = 0;
+            m.probation_until = None;
+            let name = m.compiled.name.clone();
+            self.reports
+                .info(now, &name, "watchdog probation over, monitor re-enabled");
         }
         self.stats.evaluations += 1;
         let started = std::time::Instant::now();
         let mut fuel = 0u64;
         let mut failed: Option<usize> = None;
+        let mut fault: Option<String> = None;
         {
             let monitor = &mut self.monitors[midx];
+            let vm = &mut self.vm;
+            let store = &self.store;
+            let limit = self.rule_fuel_limit;
             for (i, rule) in monitor.compiled.rules.iter().enumerate() {
-                let result = self.vm.run(
-                    &rule.program,
-                    &mut EvalCtx {
-                        store: &self.store,
-                        now,
-                        args,
-                        deltas: &mut monitor.rule_deltas[i],
-                    },
-                );
-                fuel += result.fuel;
-                if !result.as_bool() {
-                    failed = Some(i);
-                    break;
+                let deltas = &mut monitor.rule_deltas[i];
+                // Isolate the evaluation: a fuel-starved or panicking rule
+                // must fault *this monitor*, never take down the engine.
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    vm.try_run(
+                        &rule.program,
+                        &mut EvalCtx {
+                            store,
+                            now,
+                            args,
+                            deltas,
+                        },
+                        limit,
+                    )
+                }));
+                match run {
+                    Ok(Ok(result)) => {
+                        fuel += result.fuel;
+                        if !result.as_bool() {
+                            failed = Some(i);
+                            break;
+                        }
+                    }
+                    Ok(Err(vm_fault)) => {
+                        fault = Some(format!("rule {i}: {vm_fault}"));
+                        break;
+                    }
+                    Err(_) => {
+                        fault = Some(format!("rule {i}: evaluation panicked"));
+                        break;
+                    }
                 }
             }
         }
         let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         self.monitors[midx].overhead.charge_rules(fuel, wall_ns);
+
+        if let Some(reason) = fault {
+            self.on_rule_fault(midx, now, args, &reason);
+            return;
+        }
+        self.monitors[midx].consecutive_faults = 0;
 
         let Some(rule_index) = failed else {
             // Healthy evaluation still feeds the hysteresis window.
@@ -320,6 +484,44 @@ impl MonitorEngine {
         }
     }
 
+    /// Handles a rule evaluation that aborted (fuel exhaustion or panic):
+    /// counts it, and — when a watchdog is configured — disables a monitor
+    /// that keeps faulting instead of leaving it silently wedged. Fail-closed
+    /// watchdogs dispatch the monitor's actions once on the way down.
+    fn on_rule_fault(&mut self, midx: usize, now: Nanos, args: &[f64], reason: &str) {
+        self.stats.rule_faults += 1;
+        self.monitors[midx].consecutive_faults += 1;
+        let name = self.monitors[midx].compiled.name.clone();
+        self.reports
+            .info(now, &name, format!("rule fault: {reason}"));
+        let Some(watchdog) = self.resilience.watchdog else {
+            return;
+        };
+        if self.monitors[midx].consecutive_faults < watchdog.max_consecutive_faults {
+            return;
+        }
+        let m = &mut self.monitors[midx];
+        m.enabled = false;
+        m.watchdog_tripped = true;
+        m.probation_until = watchdog.probation.map(|p| now + p);
+        self.stats.watchdog_trips += 1;
+        self.reports.report(
+            now,
+            &name,
+            &format!(
+                "watchdog disabled monitor after {} consecutive rule faults ({reason})",
+                watchdog.max_consecutive_faults
+            ),
+            &[],
+            &self.store,
+        );
+        if watchdog.fail_mode == FailMode::FailClosed {
+            // The property can no longer be checked: presume it violated
+            // and leave the system in its corrected configuration.
+            self.dispatch_actions(midx, now, args);
+        }
+    }
+
     fn dispatch_actions(&mut self, midx: usize, now: Nanos, args: &[f64]) {
         let actions = self.monitors[midx].compiled.actions.clone();
         let name = self.monitors[midx].compiled.name.clone();
@@ -330,7 +532,27 @@ impl MonitorEngine {
                     self.reports.report(now, &name, message, keys, &self.store);
                 }
                 CompiledAction::Replace { slot, variant } => {
-                    if let Err(e) = self.registry.replace(slot, variant) {
+                    let outcome = if self.resilience.replace_fallback {
+                        // Fail-safe chain: a missing variant degrades to the
+                        // slot's registered default instead of doing nothing.
+                        self.registry.replace_with_fallback(slot, variant).map(
+                            |chosen| {
+                                if &chosen != variant {
+                                    self.reports.info(
+                                        now,
+                                        &name,
+                                        format!(
+                                            "REPLACE '{slot}': variant '{variant}' missing, \
+                                             fell back to '{chosen}'"
+                                        ),
+                                    );
+                                }
+                            },
+                        )
+                    } else {
+                        self.registry.replace(slot, variant)
+                    };
+                    if let Err(e) = outcome {
                         // A REPLACE against an unknown slot is a deployment
                         // bug; surface it in the report log rather than
                         // crashing the monitor (crash-free semantics, §4.2).
@@ -348,6 +570,22 @@ impl MonitorEngine {
                             },
                         );
                         self.stats.commands_emitted += 1;
+                    } else if let Some(retry) = self.resilience.retrain_retry {
+                        // Rejected: schedule a backoff retry instead of
+                        // dropping the request, unless one is already queued
+                        // for this model (no point stacking duplicates).
+                        let queued = self
+                            .pending_retrains
+                            .iter()
+                            .any(|p| p.model == *model && p.guardrail == name);
+                        if !queued {
+                            self.pending_retrains.push(PendingRetrain {
+                                guardrail: name.clone(),
+                                model: model.clone(),
+                                attempt: 0,
+                                next_attempt: now + retry.backoff(0),
+                            });
+                        }
                     }
                 }
                 CompiledAction::Deprioritize { target, steps } => {
@@ -726,6 +964,277 @@ guardrail low-false-submit {
         // A compile error leaves the installed set untouched.
         assert!(engine.update_str("guardrail broken {").is_err());
         assert_eq!(engine.monitor_names(), vec!["low-false-submit".to_string()]);
+    }
+
+    #[test]
+    fn watchdog_disables_wedged_monitor_and_reports() {
+        use crate::monitor::resilience::{ResilienceConfig, WatchdogConfig};
+        let mut engine = MonitorEngine::new();
+        engine.set_resilience(ResilienceConfig {
+            watchdog: Some(WatchdogConfig::default().with_max_faults(3)),
+            ..ResilienceConfig::default()
+        });
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) < 0 }, action: { REPORT(wedged) } }",
+            )
+            .unwrap();
+        // Starve the rule: every evaluation faults instead of completing.
+        engine.set_rule_fuel_limit(Some(1));
+        engine.advance_to(Nanos::from_secs(10));
+        // Three faults trip the watchdog; the monitor then stops evaluating
+        // instead of wedging forever.
+        assert_eq!(engine.stats().rule_faults, 3);
+        assert_eq!(engine.stats().watchdog_trips, 1);
+        assert_eq!(engine.stats().evaluations, 3);
+        assert!(engine.watchdog_tripped("g").unwrap());
+        assert!(engine.violations().is_empty(), "faulted rules record no violations");
+        let reports = engine.reports().records();
+        assert!(reports.iter().any(|r| r.message.contains("rule fault")));
+        assert!(reports
+            .iter()
+            .any(|r| r.message.contains("watchdog disabled monitor after 3")));
+        // Manual re-enable clears the trip state.
+        engine.set_rule_fuel_limit(None);
+        engine.set_enabled("g", true).unwrap();
+        assert!(!engine.watchdog_tripped("g").unwrap());
+        engine.advance_to(Nanos::from_secs(12));
+        assert!(engine.stats().evaluations > 3, "evaluations resumed");
+    }
+
+    #[test]
+    fn fail_closed_watchdog_fires_actions_on_the_way_down() {
+        use crate::monitor::resilience::{ResilienceConfig, WatchdogConfig};
+        let mut engine = MonitorEngine::new();
+        engine.set_resilience(ResilienceConfig {
+            watchdog: Some(WatchdogConfig::fail_closed().with_max_faults(2)),
+            ..ResilienceConfig::default()
+        });
+        engine.install_str(LISTING_2).unwrap();
+        let store = engine.store();
+        store.save("ml_enabled", 1.0);
+        store.save("false_submit_rate", 0.01); // The rule itself would hold.
+        engine.set_rule_fuel_limit(Some(1));
+        engine.advance_to(Nanos::from_secs(5));
+        // The check is broken, so fail-closed presumes violation: the model
+        // is disabled once, then the monitor goes quiet.
+        assert_eq!(engine.stats().watchdog_trips, 1);
+        assert!(!store.flag("ml_enabled"), "corrective action fired on trip");
+    }
+
+    #[test]
+    fn watchdog_probation_self_heals_transient_faults() {
+        use crate::monitor::resilience::{ResilienceConfig, WatchdogConfig};
+        let mut engine = MonitorEngine::new();
+        engine.set_resilience(ResilienceConfig {
+            watchdog: Some(
+                WatchdogConfig::default()
+                    .with_max_faults(2)
+                    .with_probation(Nanos::from_secs(3)),
+            ),
+            ..ResilienceConfig::default()
+        });
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) < 0 }, action: { REPORT(m) } }",
+            )
+            .unwrap();
+        engine.set_rule_fuel_limit(Some(1));
+        engine.advance_to(Nanos::from_secs(1)); // Faults at 0 and 1: trip.
+        assert!(engine.watchdog_tripped("g").unwrap());
+        // The fault clears while the monitor sits out its probation.
+        engine.set_rule_fuel_limit(None);
+        engine.advance_to(Nanos::from_secs(6));
+        assert!(!engine.watchdog_tripped("g").unwrap(), "probation re-enabled it");
+        assert!(
+            !engine.violations().is_empty(),
+            "rule evaluates (and violates) again after re-enable"
+        );
+        assert!(engine
+            .reports()
+            .records()
+            .iter()
+            .any(|r| r.message.contains("probation over")));
+    }
+
+    #[test]
+    fn clean_evaluation_resets_the_fault_streak() {
+        use crate::monitor::resilience::{ResilienceConfig, WatchdogConfig};
+        let mut engine = MonitorEngine::new();
+        engine.set_resilience(ResilienceConfig {
+            watchdog: Some(WatchdogConfig::default().with_max_faults(3)),
+            ..ResilienceConfig::default()
+        });
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) >= 0 }, action: { REPORT(m) } }",
+            )
+            .unwrap();
+        engine.set_rule_fuel_limit(Some(1));
+        engine.advance_to(Nanos::from_secs(1)); // Two faults...
+        engine.set_rule_fuel_limit(None);
+        engine.advance_to(Nanos::from_secs(2)); // ...one clean evaluation...
+        engine.set_rule_fuel_limit(Some(1));
+        engine.advance_to(Nanos::from_secs(4)); // ...two more faults.
+        assert_eq!(engine.stats().rule_faults, 4);
+        assert_eq!(engine.stats().watchdog_trips, 0, "streak never reached 3");
+        assert!(!engine.watchdog_tripped("g").unwrap());
+    }
+
+    #[test]
+    fn rejected_retrains_retry_with_backoff() {
+        use crate::monitor::resilience::{ResilienceConfig, RetryPolicy};
+        let mut engine = MonitorEngine::new();
+        engine.set_retrain_limiter(RetrainLimiter::new(
+            Nanos::from_secs(10),
+            100,
+            Nanos::from_secs(1000),
+        ));
+        engine.set_resilience(ResilienceConfig {
+            retrain_retry: Some(RetryPolicy::exponential(4, Nanos::from_millis(500))),
+            ..ResilienceConfig::default()
+        });
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s, 1s) }, rule: { LOAD(x) > 0 }, action: { RETRAIN(io_model) } }",
+            )
+            .unwrap();
+        // t=0 accepted; t=1 rejected (too soon) and queued for retry.
+        engine.advance_to(Nanos::from_secs(2));
+        assert_eq!(engine.drain_commands().len(), 1);
+        assert_eq!(engine.pending_retrains(), 1);
+        // The retry keeps backing off until the limiter accepts at t=12.
+        engine.advance_to(Nanos::from_secs(12));
+        let commands = engine.drain_commands();
+        assert_eq!(commands.len(), 1, "the retry eventually lands");
+        assert!(matches!(
+            &commands[0].1,
+            Command::Retrain { model, .. } if model == "io_model"
+        ));
+        assert_eq!(engine.pending_retrains(), 0);
+        assert!(engine.stats().retrain_retries >= 1);
+    }
+
+    #[test]
+    fn retrain_retries_give_up_past_the_attempt_budget() {
+        use crate::monitor::resilience::{ResilienceConfig, RetryPolicy};
+        let mut engine = MonitorEngine::new();
+        // Budget of 1 in a huge window: the second request can never land.
+        engine.set_retrain_limiter(RetrainLimiter::new(
+            Nanos::from_secs(1),
+            1,
+            Nanos::from_secs(100_000),
+        ));
+        engine.set_resilience(ResilienceConfig {
+            retrain_retry: Some(RetryPolicy::exponential(2, Nanos::from_secs(1))),
+            ..ResilienceConfig::default()
+        });
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s, 1s) }, rule: { LOAD(x) > 0 }, action: { RETRAIN(m) } }",
+            )
+            .unwrap();
+        // Retries are serviced as time advances; each step rejects again.
+        engine.advance_to(Nanos::from_secs(10));
+        engine.advance_to(Nanos::from_secs(20));
+        engine.advance_to(Nanos::from_secs(30));
+        assert_eq!(engine.drain_commands().len(), 1, "only the first lands");
+        assert_eq!(engine.pending_retrains(), 0, "gave up, not queued forever");
+        assert!(engine
+            .reports()
+            .records()
+            .iter()
+            .any(|r| r.message.contains("gave up after 2 attempts")));
+    }
+
+    #[test]
+    fn replace_falls_back_to_default_variant_when_hardened() {
+        use crate::monitor::resilience::ResilienceConfig;
+        let spec = "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { REPLACE(io_policy, experimental) } }";
+        // Unhardened: the missing variant is only a log line.
+        let mut engine = MonitorEngine::new();
+        engine.registry().register("io_policy", &["learned", "fallback"]).unwrap();
+        engine.install_str(spec).unwrap();
+        engine.advance_to(Nanos::ZERO);
+        assert!(engine.registry().is_active("io_policy", "learned"));
+        assert!(engine
+            .reports()
+            .records()
+            .iter()
+            .any(|r| r.message.contains("REPLACE failed")));
+        // Hardened: it degrades to the slot's safe default.
+        let mut engine = MonitorEngine::new();
+        engine.set_resilience(ResilienceConfig {
+            replace_fallback: true,
+            ..ResilienceConfig::default()
+        });
+        engine.registry().register("io_policy", &["learned", "fallback"]).unwrap();
+        engine.install_str(spec).unwrap();
+        engine.advance_to(Nanos::ZERO);
+        assert!(engine.registry().is_active("io_policy", "fallback"));
+        assert!(engine
+            .reports()
+            .records()
+            .iter()
+            .any(|r| r.message.contains("fell back to 'fallback'")));
+    }
+
+    #[test]
+    fn uninstall_with_violations_pending_preserves_history() {
+        let mut engine = MonitorEngine::new();
+        engine.install_str(LISTING_2).unwrap();
+        engine
+            .install_str(
+                "guardrail dep { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { DEPRIORITIZE(t, 3) } }",
+            )
+            .unwrap();
+        engine.store().save("false_submit_rate", 0.5);
+        engine.advance_to(Nanos::from_secs(2));
+        let violations_before = engine.violations().len();
+        assert!(violations_before >= 4, "both monitors violated repeatedly");
+        // Uninstall with violations recorded and commands still undrained.
+        engine.uninstall("dep").unwrap();
+        assert_eq!(
+            engine.violations().len(),
+            violations_before,
+            "the violation log survives uninstall"
+        );
+        let commands = engine.drain_commands();
+        assert!(
+            commands.iter().any(|(_, c)| matches!(c, Command::Deprioritize { guardrail, .. } if guardrail == "dep")),
+            "pending commands from the uninstalled monitor still drain"
+        );
+        // And its overhead account remains readable post-mortem.
+        assert!(engine
+            .overhead_reports()
+            .iter()
+            .any(|r| r.guardrail == "dep" && r.account.evaluations > 0));
+    }
+
+    #[test]
+    fn update_str_mid_cooldown_rearms_hysteresis() {
+        let spec = "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { SAVE(fired, LOAD(fired) + 1) } }";
+        let mut engine = MonitorEngine::new();
+        engine.install_str(spec).unwrap();
+        engine
+            .set_hysteresis("g", Hysteresis::cooldown(Nanos::from_secs(100)))
+            .unwrap();
+        engine.advance_to(Nanos::from_secs(2));
+        // First trip fires; the cooldown then suppresses ticks 1 and 2.
+        assert_eq!(engine.store().load("fired"), Some(1.0));
+        assert_eq!(engine.suppressed("g").unwrap(), 2);
+        // Updating mid-cooldown installs a fresh monitor: default hysteresis,
+        // cleared cooldown state — the replacement starts ticking at `now`
+        // (t=2) and fires on both of its ticks where the old one was muted.
+        engine.update_str(spec).unwrap();
+        engine.advance_to(Nanos::from_secs(3));
+        assert_eq!(engine.store().load("fired"), Some(3.0), "cooldown re-armed");
+        assert_eq!(
+            engine.suppressed("g").unwrap(),
+            0,
+            "suppression counter belongs to the new instance"
+        );
+        assert_eq!(engine.monitor_names(), vec!["g".to_string()]);
     }
 
     #[test]

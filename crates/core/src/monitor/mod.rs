@@ -8,9 +8,11 @@
 pub mod engine;
 pub mod hysteresis;
 pub mod overhead;
+pub mod resilience;
 pub mod violation;
 
 pub use engine::{EngineStats, MonitorEngine, MonitorId};
 pub use hysteresis::{Hysteresis, HysteresisState};
 pub use overhead::{OverheadAccount, OverheadReport, NS_PER_FUEL};
+pub use resilience::{FailMode, ResilienceConfig, RetryPolicy, WatchdogConfig};
 pub use violation::{TriggerKind, Violation, ViolationLog};

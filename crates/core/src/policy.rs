@@ -53,6 +53,22 @@ struct Slot {
     active: String,
     variants: Vec<String>,
     swaps: u64,
+    /// The known-safe variant `replace_with_fallback` degrades to.
+    default: Option<String>,
+}
+
+impl Slot {
+    /// The variant to fall back to: the explicit default, else the
+    /// conventional `"fallback"` variant, else the first registered one.
+    fn fallback_variant(&self) -> &str {
+        if let Some(d) = &self.default {
+            return d;
+        }
+        self.variants
+            .iter()
+            .find(|v| v.as_str() == VARIANT_FALLBACK)
+            .unwrap_or(&self.variants[0])
+    }
 }
 
 /// A shared registry of policy slots and their active variants.
@@ -100,9 +116,77 @@ impl PolicyRegistry {
                 active: variants[0].to_string(),
                 variants: variants.iter().map(|v| v.to_string()).collect(),
                 swaps: 0,
+                default: None,
             },
         );
         Ok(())
+    }
+
+    /// Marks `variant` as the known-safe default `replace_with_fallback`
+    /// degrades to when a requested variant is missing.
+    pub fn set_default_variant(&self, slot: &str, variant: &str) -> Result<()> {
+        let mut slots = self.slots.write();
+        let s = slots.get_mut(slot).ok_or_else(|| {
+            GuardrailError::Config(format!("no policy slot '{slot}'"))
+        })?;
+        if !s.variants.iter().any(|v| v == variant) {
+            return Err(GuardrailError::Config(format!(
+                "slot '{slot}' has no variant '{variant}' (variants: {:?})",
+                s.variants
+            )));
+        }
+        s.default = Some(variant.to_string());
+        Ok(())
+    }
+
+    /// Removes `variant` from `slot`'s registered set (fault injection:
+    /// a `REPLACE` target going missing at runtime).
+    ///
+    /// The active variant and the last remaining variant cannot be removed.
+    pub fn unregister_variant(&self, slot: &str, variant: &str) -> Result<()> {
+        let mut slots = self.slots.write();
+        let s = slots.get_mut(slot).ok_or_else(|| {
+            GuardrailError::Config(format!("no policy slot '{slot}'"))
+        })?;
+        if s.active == variant {
+            return Err(GuardrailError::Config(format!(
+                "cannot unregister active variant '{variant}' of slot '{slot}'"
+            )));
+        }
+        let before = s.variants.len();
+        s.variants.retain(|v| v != variant);
+        if s.variants.len() == before {
+            return Err(GuardrailError::Config(format!(
+                "slot '{slot}' has no variant '{variant}'"
+            )));
+        }
+        if s.default.as_deref() == Some(variant) {
+            s.default = None;
+        }
+        Ok(())
+    }
+
+    /// Activates `variant` in `slot`, degrading to the slot's fallback
+    /// variant when `variant` is not registered (the fail-safe `REPLACE`
+    /// chain: a corrective action must correct *something* even when its
+    /// named target has gone missing). Returns the variant actually
+    /// activated. Unknown *slots* still error — there is nothing safe to
+    /// activate in a slot that does not exist.
+    pub fn replace_with_fallback(&self, slot: &str, variant: &str) -> Result<String> {
+        let mut slots = self.slots.write();
+        let s = slots.get_mut(slot).ok_or_else(|| {
+            GuardrailError::Config(format!("REPLACE on unknown policy slot '{slot}'"))
+        })?;
+        let chosen = if s.variants.iter().any(|v| v == variant) {
+            variant.to_string()
+        } else {
+            s.fallback_variant().to_string()
+        };
+        if s.active != chosen {
+            s.active = chosen.clone();
+            s.swaps += 1;
+        }
+        Ok(chosen)
     }
 
     /// Returns the active variant of `slot`, if the slot exists.
@@ -267,6 +351,49 @@ mod tests {
         assert!(reg.replace("nope", "a").is_err());
         assert_eq!(reg.slots(), vec!["s".to_string()]);
         assert_eq!(reg.active("nope"), None);
+    }
+
+    #[test]
+    fn replace_with_fallback_degrades_to_the_safe_variant() {
+        let reg = PolicyRegistry::new();
+        reg.register("io", &[VARIANT_LEARNED, VARIANT_FALLBACK]).unwrap();
+        // The requested variant exists: behaves like `replace`.
+        assert_eq!(
+            reg.replace_with_fallback("io", VARIANT_FALLBACK).unwrap(),
+            VARIANT_FALLBACK
+        );
+        reg.replace("io", VARIANT_LEARNED).unwrap();
+        // The requested variant is gone: degrade to "fallback".
+        assert_eq!(
+            reg.replace_with_fallback("io", "heuristic_v2").unwrap(),
+            VARIANT_FALLBACK
+        );
+        assert!(reg.is_active("io", VARIANT_FALLBACK));
+        // Unknown slots still error; there is nothing safe to activate.
+        assert!(reg.replace_with_fallback("ghost", "x").is_err());
+
+        // An explicit default wins over the "fallback" convention.
+        reg.register("net", &["a", "b", "c"]).unwrap();
+        assert_eq!(reg.replace_with_fallback("net", "zzz").unwrap(), "a");
+        reg.set_default_variant("net", "c").unwrap();
+        assert_eq!(reg.replace_with_fallback("net", "zzz").unwrap(), "c");
+        assert!(reg.set_default_variant("net", "zzz").is_err());
+        assert!(reg.set_default_variant("ghost", "a").is_err());
+    }
+
+    #[test]
+    fn unregister_variant_models_a_missing_target() {
+        let reg = PolicyRegistry::new();
+        reg.register("io", &[VARIANT_LEARNED, VARIANT_FALLBACK, "v2"]).unwrap();
+        reg.set_default_variant("io", "v2").unwrap();
+        reg.unregister_variant("io", "v2").unwrap();
+        assert!(reg.replace("io", "v2").is_err(), "target is gone");
+        // Removing the default clears it; the convention takes over again.
+        assert_eq!(reg.replace_with_fallback("io", "v2").unwrap(), VARIANT_FALLBACK);
+        // Guards: active and unknown variants, unknown slots.
+        assert!(reg.unregister_variant("io", VARIANT_FALLBACK).is_err(), "active");
+        assert!(reg.unregister_variant("io", "nope").is_err());
+        assert!(reg.unregister_variant("ghost", "x").is_err());
     }
 
     #[test]

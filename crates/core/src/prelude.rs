@@ -1,7 +1,11 @@
 //! Commonly used re-exports.
 
 pub use crate::compile::{compile_str, CompileOptions};
-pub use crate::monitor::{Hysteresis, MonitorEngine, TriggerKind, Violation};
+pub use crate::fault::{FaultInjector, FaultKind, FaultPlan, PoisonMode};
+pub use crate::monitor::{
+    FailMode, Hysteresis, MonitorEngine, ResilienceConfig, RetryPolicy, TriggerKind, Violation,
+    WatchdogConfig,
+};
 pub use crate::policy::{
     FallbackPolicy, GuardedPolicy, LearnedPolicy, PolicyRegistry, VARIANT_FALLBACK,
     VARIANT_LEARNED,

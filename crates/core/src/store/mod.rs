@@ -17,6 +17,7 @@ pub mod window;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use simkernel::Nanos;
@@ -66,6 +67,13 @@ pub struct FeatureStore {
     shards: Vec<RwLock<HashMap<String, Entry>>>,
     series_retention: Nanos,
     series_max_samples: usize,
+    /// When set (the default), non-finite `SAVE`s are quarantined instead
+    /// of written: a poisoned model output must not propagate into every
+    /// rule that `LOAD`s the key (NaN comparisons are all-false, which
+    /// would silently disarm the guardrails reading it).
+    quarantine: AtomicBool,
+    poisoned: RwLock<HashMap<String, u64>>,
+    poisoned_total: AtomicU64,
 }
 
 impl Default for FeatureStore {
@@ -89,6 +97,9 @@ impl FeatureStore {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             series_retention: retention,
             series_max_samples: max_samples,
+            quarantine: AtomicBool::new(true),
+            poisoned: RwLock::new(HashMap::new()),
+            poisoned_total: AtomicU64::new(0),
         }
     }
 
@@ -99,10 +110,41 @@ impl FeatureStore {
     }
 
     /// `SAVE(key, value)`: writes a scalar, replacing any existing entry.
+    ///
+    /// Non-finite values (`NaN`, `±inf`) are quarantined while quarantine is
+    /// enabled (the default): the write is dropped, the previous value — if
+    /// any — survives, and the per-key poison counter is incremented so
+    /// monitors can watch `poison_count` for a misbehaving producer.
     pub fn save(&self, key: &str, value: f64) {
+        if !value.is_finite() && self.quarantine.load(Ordering::Relaxed) {
+            *self.poisoned.write().entry(key.to_string()).or_insert(0) += 1;
+            self.poisoned_total.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.shard(key)
             .write()
             .insert(key.to_string(), Entry::Scalar(value));
+    }
+
+    /// Enables or disables the non-finite `SAVE` quarantine (on by default;
+    /// disabling it models the unhardened runtime in fault experiments).
+    pub fn set_quarantine(&self, enabled: bool) {
+        self.quarantine.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether non-finite `SAVE`s are currently quarantined.
+    pub fn quarantine_enabled(&self) -> bool {
+        self.quarantine.load(Ordering::Relaxed)
+    }
+
+    /// How many non-finite writes to `key` have been quarantined.
+    pub fn poison_count(&self, key: &str) -> u64 {
+        self.poisoned.read().get(key).copied().unwrap_or(0)
+    }
+
+    /// Total quarantined writes across all keys.
+    pub fn poisoned_total(&self) -> u64 {
+        self.poisoned_total.load(Ordering::Relaxed)
     }
 
     /// `LOAD(key)`: reads a scalar. Series read their most recent sample,
@@ -367,6 +409,38 @@ mod tests {
         assert!(!store.remove("a"));
         assert_eq!(store.len(), 1);
         assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn quarantine_rejects_non_finite_saves() {
+        let store = FeatureStore::new();
+        assert!(store.quarantine_enabled(), "quarantine is on by default");
+        store.save("rate", 0.4);
+        store.save("rate", f64::NAN);
+        store.save("rate", f64::INFINITY);
+        store.save("rate", f64::NEG_INFINITY);
+        // The last good value survives; the poison is counted, not stored.
+        assert_eq!(store.load("rate"), Some(0.4));
+        assert_eq!(store.poison_count("rate"), 3);
+        assert_eq!(store.poison_count("other"), 0);
+        assert_eq!(store.poisoned_total(), 3);
+        // A key never written finitely stays absent under poisoning.
+        store.save("fresh", f64::NAN);
+        assert_eq!(store.load("fresh"), None);
+        assert_eq!(store.poisoned_total(), 4);
+    }
+
+    #[test]
+    fn quarantine_can_be_disabled() {
+        let store = FeatureStore::new();
+        store.set_quarantine(false);
+        assert!(!store.quarantine_enabled());
+        store.save("rate", f64::NAN);
+        assert!(store.load("rate").unwrap().is_nan(), "unhardened: NaN lands");
+        assert_eq!(store.poisoned_total(), 0);
+        store.set_quarantine(true);
+        store.save("rate", f64::NAN);
+        assert_eq!(store.poison_count("rate"), 1);
     }
 
     #[test]

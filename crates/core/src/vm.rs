@@ -44,6 +44,35 @@ impl EvalResult {
     }
 }
 
+/// A fault aborting a [`Vm::try_run`] evaluation.
+///
+/// Verified programs cannot underflow or jump out of bounds, but a caller
+/// may impose a *dynamic* fuel budget tighter than the verifier's static
+/// bound (or a fault-injection harness may shrink it mid-run); exhausting
+/// it aborts the evaluation without a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmFault {
+    /// The dynamic fuel budget ran out before the program completed.
+    FuelExhausted {
+        /// Fuel consumed when the budget tripped.
+        used: u64,
+        /// The budget that was in force.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for VmFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmFault::FuelExhausted { used, limit } => {
+                write!(f, "fuel exhausted ({used} used, limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmFault {}
+
 /// A reusable stack VM.
 ///
 /// # Examples
@@ -85,6 +114,31 @@ impl Vm {
     /// Panics on stack underflow or malformed jumps, which the verifier
     /// excludes; running an unverified program is a programming error.
     pub fn run(&mut self, program: &Program, ctx: &mut EvalCtx<'_>) -> EvalResult {
+        self.exec(program, ctx, None)
+            .expect("unlimited fuel cannot exhaust")
+    }
+
+    /// Executes a verified program under a dynamic fuel budget.
+    ///
+    /// Returns [`VmFault::FuelExhausted`] when cumulative fuel exceeds
+    /// `fuel_limit` before the program finishes; the engine's watchdog uses
+    /// this to detect rules that can no longer complete within budget
+    /// instead of letting them run unbounded.
+    pub fn try_run(
+        &mut self,
+        program: &Program,
+        ctx: &mut EvalCtx<'_>,
+        fuel_limit: Option<u64>,
+    ) -> Result<EvalResult, VmFault> {
+        self.exec(program, ctx, fuel_limit)
+    }
+
+    fn exec(
+        &mut self,
+        program: &Program,
+        ctx: &mut EvalCtx<'_>,
+        fuel_limit: Option<u64>,
+    ) -> Result<EvalResult, VmFault> {
         self.stack.clear();
         let mut fuel = 0u64;
         let mut pc = 0usize;
@@ -92,6 +146,11 @@ impl Vm {
         while pc < ops.len() {
             let op = ops[pc];
             fuel += op.cost();
+            if let Some(limit) = fuel_limit {
+                if fuel > limit {
+                    return Err(VmFault::FuelExhausted { used: fuel, limit });
+                }
+            }
             let mut next = pc + 1;
             match op {
                 Op::Push(v) => self.stack.push(v),
@@ -172,7 +231,7 @@ impl Vm {
             pc = next;
         }
         let value = self.stack.pop().unwrap_or(0.0);
-        EvalResult { value, fuel }
+        Ok(EvalResult { value, fuel })
     }
 
     fn pop(&mut self) -> f64 {
@@ -384,6 +443,32 @@ mod tests {
             },
         );
         assert_eq!(r.fuel, program.worst_case_fuel());
+    }
+
+    #[test]
+    fn try_run_enforces_the_fuel_limit() {
+        let e = Expr::bin(BinOp::Le, Expr::Load("x".into()), num(0.05));
+        let program = lower_expr(&e).unwrap();
+        let store = FeatureStore::new();
+        let mut deltas = DeltaState::default();
+        let mut vm = Vm::new();
+        let mut ctx = EvalCtx {
+            store: &store,
+            now: Nanos::ZERO,
+            args: &[],
+            deltas: &mut deltas,
+        };
+        // A generous limit behaves exactly like `run`.
+        let ok = vm.try_run(&program, &mut ctx, Some(1_000)).unwrap();
+        assert_eq!(ok.fuel, program.worst_case_fuel());
+        // A starved limit faults mid-program.
+        let fault = vm.try_run(&program, &mut ctx, Some(1)).unwrap_err();
+        let VmFault::FuelExhausted { used, limit } = fault;
+        assert_eq!(limit, 1);
+        assert!(used > limit);
+        assert!(fault.to_string().contains("fuel exhausted"));
+        // No limit never faults.
+        assert!(vm.try_run(&program, &mut ctx, None).is_ok());
     }
 
     #[test]

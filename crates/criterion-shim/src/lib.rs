@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros — as a small time-boxed
+//! harness. Each benchmark runs for a bounded wall-clock budget and reports
+//! a mean per-iteration time, so `cargo bench` (and `cargo test`, which also
+//! executes `harness = false` bench targets) completes quickly. No
+//! statistical analysis or HTML reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget.
+const BUDGET: Duration = Duration::from_millis(25);
+/// Hard cap on measured iterations, for very fast bodies.
+const MAX_ITERS: u64 = 100_000;
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `body` repeatedly inside the time budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // A few warm-up runs so one-time lazy work is not billed.
+        for _ in 0..3 {
+            std::hint::black_box(body());
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < MAX_ITERS {
+            std::hint::black_box(body());
+            n += 1;
+            if n.is_multiple_of(64) && start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+        self.iters = n;
+        self.mean_ns = start.elapsed().as_nanos() as f64 / n as f64;
+    }
+}
+
+/// A named benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value (name comes from the group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!("bench  {label:<48} {:>12.1} ns/iter  ({} iters)", b.mean_ns, b.iters);
+}
+
+/// The top-level harness, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond parity with criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_runs_parameterised() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| n * 2)
+            });
+        }
+        group.finish();
+    }
+}

@@ -31,7 +31,7 @@ pub use dataset::Dataset;
 pub use linear::LogisticRegression;
 pub use loss::Loss;
 pub use metrics::ConfusionMatrix;
-pub use mlp::{Activation, Mlp, MlpConfig};
+pub use mlp::{Activation, Mlp, MlpConfig, OutputCorruption};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use qlearn::QTable;
 pub use replay::ReplayBuffer;

@@ -50,6 +50,33 @@ impl Activation {
     }
 }
 
+/// How a fault injector corrupts the network's *inference* output.
+///
+/// Models a broken inference path (bit flips in deployed weights, a buggy
+/// quantized kernel, a stale memory-mapped model file) — the training code
+/// path is separate and unaffected, which is exactly why this failure mode
+/// is insidious: the model keeps "learning" while serving garbage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputCorruption {
+    /// Every output becomes `NaN`.
+    Nan,
+    /// Every output becomes `+inf`.
+    Inf,
+    /// Every output becomes a finite value far outside the valid range.
+    OutOfRange,
+}
+
+impl OutputCorruption {
+    /// The corrupted value substituted for an inference output.
+    pub fn corrupt(self, _value: f64) -> f64 {
+        match self {
+            OutputCorruption::Nan => f64::NAN,
+            OutputCorruption::Inf => f64::INFINITY,
+            OutputCorruption::OutOfRange => 1.0e9,
+        }
+    }
+}
+
 /// Configuration for an [`Mlp`].
 #[derive(Clone, Debug)]
 pub struct MlpConfig {
@@ -105,6 +132,7 @@ pub struct Mlp {
     config: MlpConfig,
     weights: Vec<Matrix>,
     biases: Vec<Vec<f64>>,
+    corruption: Option<OutputCorruption>,
 }
 
 impl Mlp {
@@ -139,7 +167,23 @@ impl Mlp {
             config,
             weights,
             biases,
+            corruption: None,
         }
+    }
+
+    /// Injects (or with `None` clears) an inference-output corruption.
+    ///
+    /// While set, [`Mlp::forward`] and [`Mlp::predict_one`] return the
+    /// corrupted value in place of every output element. Training via
+    /// [`Mlp::train_batch`] is unaffected (it runs the clean forward pass
+    /// internally) — see [`OutputCorruption`] for why.
+    pub fn set_output_corruption(&mut self, corruption: Option<OutputCorruption>) {
+        self.corruption = corruption;
+    }
+
+    /// The currently injected output corruption, if any.
+    pub fn output_corruption(&self) -> Option<OutputCorruption> {
+        self.corruption
     }
 
     /// Returns the layer widths.
@@ -166,7 +210,11 @@ impl Mlp {
 
     /// Runs a batch forward; `x` is `n x inputs`, the result `n x outputs`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        self.forward_cached(x).pop().expect("at least one layer")
+        let mut out = self.forward_cached(x).pop().expect("at least one layer");
+        if let Some(corruption) = self.corruption {
+            out.map_inplace(|v| corruption.corrupt(v));
+        }
+        out
     }
 
     /// Runs a batch forward and returns all layer activations (including the
@@ -265,7 +313,11 @@ impl Mlp {
     pub fn reinitialize(&mut self, seed: u64) {
         let mut config = self.config.clone();
         config.seed = seed;
+        let corruption = self.corruption;
         *self = Mlp::new(config);
+        // Corruption models a broken inference *path*, not broken weights —
+        // redeploying the model does not fix it.
+        self.corruption = corruption;
     }
 }
 
@@ -355,6 +407,33 @@ mod tests {
         net.reinitialize(999);
         let after = net.predict_one(&[1.0, 0.5, 0.2, 0.9]);
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn output_corruption_poisons_inference_but_not_training() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(MlpConfig::linnos(2, 5));
+        assert_eq!(net.output_corruption(), None);
+
+        net.set_output_corruption(Some(OutputCorruption::Nan));
+        assert!(net.predict_one(&[0.0, 1.0])[0].is_nan());
+        net.set_output_corruption(Some(OutputCorruption::Inf));
+        assert!(net.predict_one(&[0.0, 1.0])[0].is_infinite());
+        net.set_output_corruption(Some(OutputCorruption::OutOfRange));
+        let oor = net.predict_one(&[0.0, 1.0])[0];
+        assert!(oor.is_finite() && oor > 1.0, "out of a sigmoid's range: {oor}");
+
+        // Training runs the clean forward pass: loss stays finite, and the
+        // corruption survives a RETRAIN-style reinitialization.
+        let mut opt = Adam::new(0.01);
+        let loss = net.train_batch(&x, &y, Loss::Bce, &mut opt);
+        assert!(loss.is_finite(), "training unaffected, loss {loss}");
+        net.reinitialize(123);
+        assert_eq!(net.output_corruption(), Some(OutputCorruption::OutOfRange));
+
+        net.set_output_corruption(None);
+        let healthy = net.predict_one(&[0.0, 1.0])[0];
+        assert!(healthy > 0.0 && healthy < 1.0, "clean sigmoid output: {healthy}");
     }
 
     #[test]

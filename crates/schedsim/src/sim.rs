@@ -52,6 +52,12 @@ pub struct SchedSimConfig {
     pub with_guardrail: bool,
     /// Metric publication period.
     pub publish_every: Nanos,
+    /// Interval at which applied demotions decay one nice step back toward
+    /// the task's base priority. `DEPRIORITIZE` is a temporary penalty: if
+    /// demotions were permanent, every task would eventually saturate at the
+    /// lowest priority and the guardrail's only lever would stop working.
+    /// `Nanos::ZERO` disables decay.
+    pub decay_every: Nanos,
 }
 
 impl Default for SchedSimConfig {
@@ -65,6 +71,7 @@ impl Default for SchedSimConfig {
             scheduler: SchedulerKind::Learned,
             with_guardrail: false,
             publish_every: Nanos::from_millis(5),
+            decay_every: Nanos::from_millis(25),
         }
     }
 }
@@ -143,12 +150,27 @@ pub fn run_sched_sim(config: SchedSimConfig) -> SchedReport {
     let mut commands_applied = 0usize;
     let mut observed_max_wait: std::collections::HashMap<TaskId, Nanos> = Default::default();
 
+    let mut next_decay = config.decay_every;
+
     while now < config.duration {
+        // Decay applied demotions back toward each task's base priority, so
+        // corrective pressure is proportional to *ongoing* misbehaviour.
+        if config.decay_every > Nanos::ZERO && now >= next_decay {
+            for t in tasks.iter_mut() {
+                if t.priority.nice() > t.spec.priority.nice() {
+                    t.priority = Priority::new(t.priority.nice() - 1);
+                }
+            }
+            next_decay = now + config.decay_every;
+        }
         // Publish metrics and service the monitor engine.
         if now >= next_publish {
+            // Live starvation: the longest wait currently being suffered by a
+            // ready task. (Publishing the all-time max would latch the rule
+            // violated forever after one bad episode.)
             let max_wait = tasks
                 .iter()
-                .map(|t| t.current_wait(now).max(t.max_wait))
+                .map(|t| t.current_wait(now))
                 .max()
                 .unwrap_or(Nanos::ZERO);
             for t in &tasks {

@@ -19,18 +19,26 @@
 //!   queue-threshold failover);
 //! - [`mod@array`]: the 2-replica flash array with revoke/failover submission;
 //! - [`sim`]: the end-to-end simulation that wires the array to the
-//!   guardrail monitor engine and produces Figure 2's latency series.
+//!   guardrail monitor engine and produces Figure 2's latency series;
+//! - [`faultsim`]: chaos-harness scenarios that rerun the setting under
+//!   injected faults, contrasting the seed guardrail runtime with the
+//!   hardened one (experiment E9).
 
 #![warn(missing_docs)]
 
 pub mod array;
 pub mod device;
+pub mod faultsim;
 pub mod heuristic;
 pub mod linnos;
 pub mod sim;
 pub mod workload;
 
 pub use array::{FlashArray, SubmitOutcome};
+pub use faultsim::{
+    fault_label, fault_matrix, quiet_injected_panics, run_fault_pair, run_fault_scenario,
+    FaultRunReport,
+};
 pub use device::{FlashDevice, FlashDeviceConfig};
 pub use linnos::{LinnosClassifier, LinnosConfig};
 pub use sim::{run_fig2, LinnosSim, LinnosSimConfig, SimReport};

@@ -7,7 +7,7 @@
 //! `features → 16 → 16 → 1` shape), trained online from completion feedback.
 
 use guardrails::policy::LearnedPolicy;
-use mlkit::{Adam, Loss, Matrix, Mlp, MlpConfig, OnlineScaler, ReplayBuffer};
+use mlkit::{Adam, Loss, Matrix, Mlp, MlpConfig, OnlineScaler, OutputCorruption, ReplayBuffer};
 use simkernel::Nanos;
 
 /// Number of model features: queue depth + 4-deep latency history.
@@ -142,6 +142,19 @@ impl LinnosClassifier {
     /// Hard fast/slow decision.
     pub fn predict_slow(&mut self, features: &[f64; NUM_FEATURES]) -> bool {
         self.predict_proba(features) >= self.config.decision_threshold
+    }
+
+    /// Injects (or clears) an inference-output corruption on the underlying
+    /// network — the chaos harness's poisoned-model fault. Only trained
+    /// models are affected: the untrained fast-path shortcut in
+    /// [`LinnosClassifier::predict_proba`] never touches the network.
+    pub fn set_output_corruption(&mut self, corruption: Option<OutputCorruption>) {
+        self.net.set_output_corruption(corruption);
+    }
+
+    /// The currently injected output corruption, if any.
+    pub fn output_corruption(&self) -> Option<OutputCorruption> {
+        self.net.output_corruption()
     }
 
     /// Whether at least one training round has run.

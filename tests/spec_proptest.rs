@@ -14,11 +14,45 @@ use guardrails::FeatureStore;
 use proptest::prelude::*;
 use simkernel::Nanos;
 
+/// One character of the key alphabet `[a-z0-9_]`.
+fn key_char(i: usize) -> char {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    ALPHABET[i] as char
+}
+
+/// Identifier keys matching `[a-z][a-z0-9_]{0,6}(\.[a-z0-9_]{1,4})?`,
+/// built from combinators (the shimmed proptest has no regex strategies).
 fn arb_key() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}(\\.[a-z0-9_]{1,4})?"
+    (
+        0usize..26,
+        proptest::collection::vec(0usize..37, 0..7),
+        proptest::option::of(proptest::collection::vec(0usize..37, 1..5)),
+    )
+        .prop_map(|(first, tail, suffix)| {
+            let mut s = String::new();
+            s.push((b'a' + first as u8) as char);
+            s.extend(tail.into_iter().map(key_char));
+            if let Some(suffix) = suffix {
+                s.push('.');
+                s.extend(suffix.into_iter().map(key_char));
+            }
+            s
+        })
         .prop_filter("reserved words", |s| {
             !matches!(s.as_str(), "true" | "false" | "guardrail" | "trigger" | "rule" | "action")
         })
+}
+
+/// Report messages matching `[ -~&&[^"\\]]{0,20}`: up to 20 printable ASCII
+/// characters excluding the quote and backslash.
+fn arb_report_message() -> impl Strategy<Value = String> {
+    let printable: Vec<char> = (b' '..=b'~')
+        .map(|b| b as char)
+        .filter(|&c| c != '"' && c != '\\')
+        .collect();
+    let n = printable.len();
+    proptest::collection::vec(0usize..n, 0..21)
+        .prop_map(move |idxs| idxs.into_iter().map(|i| printable[i]).collect())
 }
 
 fn arb_number() -> impl Strategy<Value = f64> {
@@ -102,7 +136,7 @@ fn arb_bool_expr() -> impl Strategy<Value = Expr> {
 
 fn arb_action() -> impl Strategy<Value = ActionStmt> {
     prop_oneof![
-        ("[ -~&&[^\"\\\\]]{0,20}", proptest::collection::vec(arb_key(), 0..3))
+        (arb_report_message(), proptest::collection::vec(arb_key(), 0..3))
             .prop_map(|(message, keys)| ActionStmt::Report { message, keys }),
         (arb_key(), arb_key()).prop_map(|(slot, variant)| ActionStmt::Replace { slot, variant }),
         arb_key().prop_map(|model| ActionStmt::Retrain { model }),
