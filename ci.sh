@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
-# Repository CI gate: build, test, lint. Run from the repo root.
+# Repository CI gate: build, test, lint, format, determinism. Run from the
+# repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
+
+# Determinism gate: E10 is seeded and wall-clock-free, so its CSV must be
+# byte-identical on every run. Regenerate and diff against the committed copy.
+cargo run --release -p gr-bench --bin exp_recovery >/dev/null
+git diff --exit-code -- results/exp_recovery.csv || {
+    echo "exp_recovery.csv changed: E10 is no longer deterministic (or the" \
+         "committed results are stale — rerun and commit them)." >&2
+    exit 1
+}

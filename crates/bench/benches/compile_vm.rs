@@ -73,7 +73,14 @@ fn stages(c: &mut Criterion) {
     let compiled = compile(&checked, &CompileOptions::default()).unwrap();
     let program = &compiled[0].rules[0].program;
     c.bench_function("verifier_alone_on_compiled_rule", |b| {
-        b.iter(|| verify(black_box(program), ExpectedType::Bool, &VerifyLimits::default()).unwrap())
+        b.iter(|| {
+            verify(
+                black_box(program),
+                ExpectedType::Bool,
+                &VerifyLimits::default(),
+            )
+            .unwrap()
+        })
     });
 }
 

@@ -34,9 +34,7 @@ fn series_ops(c: &mut Criterion) {
     }
     let at = Nanos::from_secs(1);
     c.bench_function("store_aggregate_avg_10ms_window", |b| {
-        b.iter(|| {
-            black_box(store2.aggregate(AggKind::Avg, "lat", Nanos::from_millis(10), at))
-        })
+        b.iter(|| black_box(store2.aggregate(AggKind::Avg, "lat", Nanos::from_millis(10), at)))
     });
     c.bench_function("store_aggregate_avg_1s_window", |b| {
         b.iter(|| black_box(store2.aggregate(AggKind::Avg, "lat", Nanos::from_secs(1), at)))

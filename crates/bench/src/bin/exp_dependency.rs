@@ -58,7 +58,10 @@ fn timer_run(period: Nanos, seed: u64) -> (Nanos, u64) {
             .map(|v| v.at)
             .unwrap_or(Nanos::MAX);
     }
-    (detected.saturating_sub(violation_at), engine.stats().evaluations)
+    (
+        detected.saturating_sub(violation_at),
+        engine.stats().evaluations,
+    )
 }
 
 fn dependency_run(seed: u64) -> (Nanos, u64) {
@@ -82,12 +85,18 @@ fn dependency_run(seed: u64) -> (Nanos, u64) {
         .first()
         .map(|v| v.at)
         .unwrap_or(Nanos::MAX);
-    (detected.saturating_sub(violation_at), engine.stats().evaluations)
+    (
+        detected.saturating_sub(violation_at),
+        engine.stats().evaluations,
+    )
 }
 
 fn main() {
     println!("=== E7: periodic TIMER checking vs dependency-tracked checking (§6) ===\n");
-    println!("{:<26} {:>22} {:>14}", "strategy", "median delay", "evaluations");
+    println!(
+        "{:<26} {:>22} {:>14}",
+        "strategy", "median delay", "evaluations"
+    );
     let mut csv = String::from("strategy,median_delay_ns,evaluations\n");
     let seeds = [1u64, 2, 3, 4, 5];
 
@@ -102,7 +111,10 @@ fn main() {
         delays.sort();
         let label = format!("TIMER every {period_ms}ms");
         println!("{label:<26} {:>22} {evals:>14}", delays[2].to_string());
-        csv.push_str(&format!("timer_{period_ms}ms,{},{evals}\n", delays[2].as_nanos()));
+        csv.push_str(&format!(
+            "timer_{period_ms}ms,{},{evals}\n",
+            delays[2].as_nanos()
+        ));
     }
 
     let mut delays: Vec<Nanos> = Vec::new();

@@ -76,7 +76,10 @@ fn main() {
         ));
     }
     let fpr = false_positive_rate(42);
-    println!("\nfalse-positive rate at alpha=0.01, unshifted stream: {:.1}%", fpr * 100.0);
+    println!(
+        "\nfalse-positive rate at alpha=0.01, unshifted stream: {:.1}%",
+        fpr * 100.0
+    );
     csv.push_str(&format!("fpr,{fpr:.4},,\n"));
 
     // Ablation: windowed mean vs EWMA as the detector's summary statistic —
@@ -89,7 +92,11 @@ fn main() {
     let mut window_cross = None;
     let mut ewma_cross = None;
     for i in 0..4_000 {
-        let x = if i < 2_000 { rng.gauss() } else { rng.gauss() + 1.0 };
+        let x = if i < 2_000 {
+            rng.gauss()
+        } else {
+            rng.gauss() + 1.0
+        };
         window.push_back(x);
         if window.len() > 512 {
             window.pop_front();

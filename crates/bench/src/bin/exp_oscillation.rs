@@ -35,7 +35,10 @@ fn run(hysteresis: Option<Hysteresis>) -> (u64, u64) {
 fn main() {
     println!("=== E6: antagonistic guardrails and hysteresis (§6) ===\n");
     println!("the two guardrails demand knob >= 12 and knob <= 8: no stable point exists.\n");
-    println!("{:<28} {:>10} {:>14}", "configuration", "violations", "actions fired");
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "configuration", "violations", "actions fired"
+    );
     let mut csv = String::from("config,violations,actions_fired\n");
 
     let (v, t) = run(None);

@@ -9,7 +9,9 @@
 
 use gr_bench::write_results;
 use simkernel::Nanos;
-use storagesim::{FlashArray, FlashDeviceConfig, LinnosClassifier, LinnosConfig, Workload, WorkloadConfig};
+use storagesim::{
+    FlashArray, FlashDeviceConfig, LinnosClassifier, LinnosConfig, Workload, WorkloadConfig,
+};
 
 fn run_with_probe_rate(probe: f64) -> (f64, f64, f64) {
     let mut array = FlashArray::new(
@@ -63,10 +65,10 @@ fn main() {
     let mut csv = String::from("probe_rate,failover_rate,false_submit_rate,mean_latency_us\n");
     for &probe in &[0.0, 0.05, 0.15, 0.3, 0.6] {
         let (failover, false_submit, mean) = run_with_probe_rate(probe);
-        println!(
-            "{probe:>10.2}   {failover:>13.3}   {false_submit:>17.3}   {mean:>17.1}"
-        );
-        csv.push_str(&format!("{probe},{failover:.4},{false_submit:.4},{mean:.1}\n"));
+        println!("{probe:>10.2}   {failover:>13.3}   {false_submit:>17.3}   {mean:>17.1}");
+        csv.push_str(&format!(
+            "{probe},{failover:.4},{false_submit:.4},{mean:.1}\n"
+        ));
     }
     let path = write_results("exp_probe_ablation.csv", &csv);
     println!(

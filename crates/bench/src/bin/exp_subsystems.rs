@@ -25,7 +25,10 @@ fn main() {
     });
     println!(
         "scheduling   batch max wait:  unguarded {}  guarded {}  cfs-baseline {}  ({} violations)",
-        sched_un.batch_max_wait, sched_g.batch_max_wait, sched_base.batch_max_wait, sched_g.violations
+        sched_un.batch_max_wait,
+        sched_g.batch_max_wait,
+        sched_base.batch_max_wait,
+        sched_g.violations
     );
     csv.push_str(&format!(
         "scheduling,batch_max_wait_ns,{},{},{},{},lower\n",
@@ -55,7 +58,10 @@ fn main() {
     );
     csv.push_str(&format!(
         "memory,phase2_tail_hit_rate,{:.4},{:.4},{:.4},{},higher\n",
-        mem_un.phase2_tail_hit_rate, mem_g.phase2_tail_hit_rate, mem_base.phase2_tail_hit_rate, mem_g.violations
+        mem_un.phase2_tail_hit_rate,
+        mem_g.phase2_tail_hit_rate,
+        mem_base.phase2_tail_hit_rate,
+        mem_g.violations
     ));
 
     // Congestion control: P2 (utilization higher is better).
@@ -74,7 +80,10 @@ fn main() {
     );
     csv.push_str(&format!(
         "congestion,noisy_tail_utilization,{:.4},{:.4},{:.4},{},higher\n",
-        cc_un.noisy_tail_utilization, cc_g.noisy_tail_utilization, cc_base.noisy_tail_utilization, cc_g.violations
+        cc_un.noisy_tail_utilization,
+        cc_g.noisy_tail_utilization,
+        cc_base.noisy_tail_utilization,
+        cc_g.violations
     ));
 
     // Cache: P4 (hit rate higher is better).

@@ -49,7 +49,9 @@ fn a1_report() -> Row {
 fn a2_replace() -> Row {
     let mut engine = MonitorEngine::new();
     let registry = engine.registry();
-    registry.register("alloc_policy", &["learned", "fallback"]).unwrap();
+    registry
+        .register("alloc_policy", &["learned", "fallback"])
+        .unwrap();
     engine
         .install_str(
             r#"guardrail a2 {

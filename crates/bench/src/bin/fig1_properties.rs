@@ -24,7 +24,12 @@ struct Row {
 fn p1_row() -> Row {
     let mut engine = MonitorEngine::new();
     engine
-        .install_str(&props::p1_in_distribution("p1", "io_model", 0.25, Nanos::from_secs(1)))
+        .install_str(&props::p1_in_distribution(
+            "p1",
+            "io_model",
+            0.25,
+            Nanos::from_secs(1),
+        ))
         .unwrap();
     let store = engine.store();
     let mut drift = DriftDetector::new("io_model.input", 512, 7);
@@ -107,7 +112,9 @@ fn p4_row() -> Row {
 fn p5_row() -> Row {
     let mut engine = MonitorEngine::new();
     let registry = engine.registry();
-    registry.register("io_policy", &["learned", "fallback"]).unwrap();
+    registry
+        .register("io_policy", &["learned", "fallback"])
+        .unwrap();
     engine
         .install_str(&props::p5_decision_overhead(
             "p5",

@@ -60,8 +60,11 @@ impl LearnedAdmission {
         if self.frozen {
             return;
         }
-        self.model
-            .train_one(features, if reused { 1.0 } else { 0.0 }, &mut self.optimizer);
+        self.model.train_one(
+            features,
+            if reused { 1.0 } else { 0.0 },
+            &mut self.optimizer,
+        );
     }
 
     /// Freezes training (the model ships).
@@ -124,7 +127,10 @@ mod tests {
     fn observe_builds_frequency_and_recency() {
         let mut p = LearnedAdmission::new();
         let first = p.observe(42);
-        assert!((first[0] - 1f64.ln_1p()).abs() < 1e-12, "first access count 1");
+        assert!(
+            (first[0] - 1f64.ln_1p()).abs() < 1e-12,
+            "first access count 1"
+        );
         for _ in 0..5 {
             p.observe(42);
         }

@@ -192,7 +192,10 @@ pub fn run_cache_sim(config: CacheSimConfig) -> CacheReport {
         window[4] += random_hit as u64;
         window[5] += 1;
         if tick % 1024 == 0 {
-            store.save("cache.learned_hit_rate", window[0] as f64 / window[1] as f64);
+            store.save(
+                "cache.learned_hit_rate",
+                window[0] as f64 / window[1] as f64,
+            );
             store.save("cache.lru_hit_rate", window[2] as f64 / window[3] as f64);
             store.save("cache.random_hit_rate", window[4] as f64 / window[5] as f64);
             window = [0; 6];
@@ -260,7 +263,11 @@ mod tests {
     fn p4_guardrail_swaps_to_random_and_recovers() {
         let guarded = run(true);
         let unguarded = run(false);
-        assert!(guarded.violations >= 3, "3-of-3 debounce then fire: {}", guarded.violations);
+        assert!(
+            guarded.violations >= 3,
+            "3-of-3 debounce then fire: {}",
+            guarded.violations
+        );
         assert!(!guarded.learned_active_at_end);
         assert!(
             guarded.phase2_tail_hit_rate > unguarded.phase2_tail_hit_rate + 0.1,

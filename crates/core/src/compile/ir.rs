@@ -179,7 +179,11 @@ impl fmt::Display for Program {
                     kind,
                     key,
                     window_ns,
-                } => format!("agg.{} {} window={window_ns}ns", kind.name().to_lowercase(), self.key(*key)),
+                } => format!(
+                    "agg.{} {} window={window_ns}ns",
+                    kind.name().to_lowercase(),
+                    self.key(*key)
+                ),
                 Op::Quantile { key, q, window_ns } => {
                     format!("quantile {} q={q} window={window_ns}ns", self.key(*key))
                 }

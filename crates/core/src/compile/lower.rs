@@ -79,16 +79,14 @@ impl Lowerer {
                 });
             }
             Expr::Hist { key, q } => {
-                let qv = const_fold(q).ok_or_else(|| {
-                    GuardrailError::Config("HIST q must be constant".into())
-                })?;
+                let qv = const_fold(q)
+                    .ok_or_else(|| GuardrailError::Config("HIST q must be constant".into()))?;
                 let id = self.intern(key)?;
                 self.ops.push(Op::Hist { key: id, q: qv });
             }
             Expr::Quantile { key, q, window } => {
-                let qv = const_fold(q).ok_or_else(|| {
-                    GuardrailError::Config("QUANTILE q must be constant".into())
-                })?;
+                let qv = const_fold(q)
+                    .ok_or_else(|| GuardrailError::Config("QUANTILE q must be constant".into()))?;
                 let window_ns = const_window(window)?;
                 let id = self.intern(key)?;
                 self.ops.push(Op::Quantile {

@@ -130,10 +130,7 @@ pub fn compile(spec: &CheckedSpec, opts: &CompileOptions) -> Result<Vec<Compiled
 }
 
 /// Compiles one checked guardrail: optimize → lower → verify.
-pub fn compile_guardrail(
-    g: &CheckedGuardrail,
-    opts: &CompileOptions,
-) -> Result<CompiledGuardrail> {
+pub fn compile_guardrail(g: &CheckedGuardrail, opts: &CompileOptions) -> Result<CompiledGuardrail> {
     let mut rules = Vec::with_capacity(g.rules.len());
     for rule in &g.rules {
         let source = print_expr(rule);
@@ -244,7 +241,10 @@ mod tests {
         let g = &compiled[0];
         assert_eq!(g.name, "low-false-submit");
         assert_eq!(g.timers[0].interval, Nanos::from_secs(1));
-        assert_eq!(g.rules[0].program.ops, vec![Op::Load(0), Op::Push(0.05), Op::Le]);
+        assert_eq!(
+            g.rules[0].program.ops,
+            vec![Op::Load(0), Op::Push(0.05), Op::Le]
+        );
         assert_eq!(g.rules[0].source, "LOAD(false_submit_rate) <= 0.05");
         match &g.actions[0] {
             CompiledAction::Save { key, value } => {
@@ -269,7 +269,10 @@ mod tests {
         )
         .unwrap();
         assert!(optimized[0].rules[0].program.len() < unoptimized[0].rules[0].program.len());
-        assert_eq!(optimized[0].rules[0].program.ops, vec![Op::Load(0), Op::Push(2500.0), Op::Lt]);
+        assert_eq!(
+            optimized[0].rules[0].program.ops,
+            vec![Op::Load(0), Op::Push(2500.0), Op::Lt]
+        );
     }
 
     #[test]
@@ -280,7 +283,11 @@ mod tests {
         .unwrap();
         assert_eq!(
             compiled[0].worst_case_rule_fuel(),
-            compiled[0].rules.iter().map(|r| r.report.worst_case_fuel).sum::<u64>()
+            compiled[0]
+                .rules
+                .iter()
+                .map(|r| r.report.worst_case_fuel)
+                .sum::<u64>()
         );
         assert_eq!(compiled[0].min_timer_interval(), Some(Nanos::from_nanos(1)));
     }

@@ -112,16 +112,29 @@ mod tests {
 
     #[test]
     fn folds_arithmetic() {
-        let e = Expr::bin(BinOp::Add, num(1.0), Expr::bin(BinOp::Mul, num(2.0), num(3.0)));
+        let e = Expr::bin(
+            BinOp::Add,
+            num(1.0),
+            Expr::bin(BinOp::Mul, num(2.0), num(3.0)),
+        );
         assert_eq!(fold_expr(&e), num(7.0));
         // Total division.
-        assert_eq!(fold_expr(&Expr::bin(BinOp::Div, num(5.0), num(0.0))), num(0.0));
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Div, num(5.0), num(0.0))),
+            num(0.0)
+        );
     }
 
     #[test]
     fn folds_comparisons_to_bools() {
-        assert_eq!(fold_expr(&Expr::bin(BinOp::Lt, num(1.0), num(2.0))), Expr::Bool(true));
-        assert_eq!(fold_expr(&Expr::bin(BinOp::Ge, num(1.0), num(2.0))), Expr::Bool(false));
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Lt, num(1.0), num(2.0))),
+            Expr::Bool(true)
+        );
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Ge, num(1.0), num(2.0))),
+            Expr::Bool(false)
+        );
     }
 
     #[test]
@@ -149,10 +162,16 @@ mod tests {
     #[test]
     fn double_negations_cancel() {
         let x = Expr::Load("x".into());
-        let e = Expr::Unary(UnOp::Neg, Box::new(Expr::Unary(UnOp::Neg, Box::new(x.clone()))));
+        let e = Expr::Unary(
+            UnOp::Neg,
+            Box::new(Expr::Unary(UnOp::Neg, Box::new(x.clone()))),
+        );
         assert_eq!(fold_expr(&e), x);
         let b = Expr::bin(BinOp::Lt, Expr::Load("x".into()), num(1.0));
-        let e = Expr::Unary(UnOp::Not, Box::new(Expr::Unary(UnOp::Not, Box::new(b.clone()))));
+        let e = Expr::Unary(
+            UnOp::Not,
+            Box::new(Expr::Unary(UnOp::Not, Box::new(b.clone()))),
+        );
         assert_eq!(fold_expr(&e), b);
     }
 

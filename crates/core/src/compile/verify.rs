@@ -92,7 +92,11 @@ pub struct VerifyReport {
 }
 
 /// Verifies `program`, returning its static resource bounds.
-pub fn verify(program: &Program, expect: ExpectedType, limits: &VerifyLimits) -> Result<VerifyReport> {
+pub fn verify(
+    program: &Program,
+    expect: ExpectedType,
+    limits: &VerifyLimits,
+) -> Result<VerifyReport> {
     verify_named(program, expect, limits, "<anonymous>")
 }
 
@@ -170,14 +174,18 @@ pub fn verify_named(
             Op::Hist { key, q } => {
                 check_key(program, key, i, &err)?;
                 if !(0.0..=1.0).contains(&q) {
-                    return Err(err(format!("hist quantile {q} outside [0, 1] at instruction {i}")));
+                    return Err(err(format!(
+                        "hist quantile {q} outside [0, 1] at instruction {i}"
+                    )));
                 }
                 stack.push(Ty::Num);
             }
             Op::Quantile { key, q, window_ns } => {
                 check_key(program, key, i, &err)?;
                 if !(0.0..=1.0).contains(&q) {
-                    return Err(err(format!("quantile {q} outside [0, 1] at instruction {i}")));
+                    return Err(err(format!(
+                        "quantile {q} outside [0, 1] at instruction {i}"
+                    )));
                 }
                 if window_ns == 0 {
                     return Err(err(format!("zero quantile window at instruction {i}")));
@@ -233,13 +241,17 @@ pub fn verify_named(
                     )));
                 }
                 if target > n {
-                    return Err(err(format!("jump target {target} out of bounds at instruction {i}")));
+                    return Err(err(format!(
+                        "jump target {target} out of bounds at instruction {i}"
+                    )));
                 }
                 let top = *stack
                     .last()
                     .ok_or_else(|| err(format!("jump with empty stack at instruction {i}")))?;
                 if !top.accepts_bool() {
-                    return Err(err(format!("conditional jump on a number at instruction {i}")));
+                    return Err(err(format!(
+                        "conditional jump on a number at instruction {i}"
+                    )));
                 }
                 jump_to = Some(target);
             }
@@ -297,7 +309,9 @@ fn check_key(
     err: &impl Fn(String) -> GuardrailError,
 ) -> Result<()> {
     if usize::from(k) >= program.keys.len() {
-        return Err(err(format!("key index {k} out of bounds at instruction {i}")));
+        return Err(err(format!(
+            "key index {k} out of bounds at instruction {i}"
+        )));
     }
     Ok(())
 }
@@ -322,9 +336,9 @@ fn merge_state(
                 )));
             }
             for (e, &inc) in existing.iter_mut().zip(incoming) {
-                *e = e.merge(inc).ok_or_else(|| {
-                    err(format!("inconsistent stack types at join point {at}"))
-                })?;
+                *e = e
+                    .merge(inc)
+                    .ok_or_else(|| err(format!("inconsistent stack types at join point {at}")))?;
             }
             Ok(())
         }

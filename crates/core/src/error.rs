@@ -44,6 +44,9 @@ pub enum GuardrailError {
     },
     /// A runtime configuration error (duplicate names, unknown policies, ...).
     Config(String),
+    /// A persistence error (WAL/snapshot I/O failure or corruption that the
+    /// recovery path detected and refused to half-apply).
+    Persist(String),
 }
 
 impl GuardrailError {
@@ -98,6 +101,7 @@ impl fmt::Display for GuardrailError {
                 write!(f, "verifier rejected guardrail '{guardrail}': {message}")
             }
             GuardrailError::Config(message) => write!(f, "configuration error: {message}"),
+            GuardrailError::Persist(message) => write!(f, "persistence error: {message}"),
         }
     }
 }

@@ -86,6 +86,19 @@ pub enum FaultKind {
     ReplaceTargetMissing,
     /// Submitted retrain jobs panic instead of completing.
     RetrainPanic,
+    /// The guardrail runtime (engine + store process) crashes at the window
+    /// start and is rebooted by its host/supervisor. The window end is
+    /// unused: a crash is instantaneous, not a condition that persists.
+    Crash,
+    /// A crash tears the final write-ahead-log append mid-write: this many
+    /// bytes of the last frame reach stable storage.
+    TornWrite {
+        /// Bytes of the torn frame that survive.
+        bytes: usize,
+    },
+    /// The persisted snapshot blob is bit-rotted and must be detected and
+    /// discarded on recovery.
+    SnapshotCorrupt,
 }
 
 impl FaultKind {
@@ -99,6 +112,9 @@ impl FaultKind {
             FaultKind::FuelExhaustion { .. } => "fuel_exhaustion",
             FaultKind::ReplaceTargetMissing => "replace_target_missing",
             FaultKind::RetrainPanic => "retrain_panic",
+            FaultKind::Crash => "crash",
+            FaultKind::TornWrite { .. } => "torn_write",
+            FaultKind::SnapshotCorrupt => "snapshot_corrupt",
         }
     }
 }
@@ -157,7 +173,11 @@ impl FaultPlan {
                 };
                 FaultEvent {
                     at: e.at + shift,
-                    until: if e.until == Nanos::MAX { e.until } else { e.until + shift },
+                    until: if e.until == Nanos::MAX {
+                        e.until
+                    } else {
+                        e.until + shift
+                    },
                     kind: e.kind.clone(),
                 }
             })
@@ -345,7 +365,9 @@ mod tests {
         let plan = FaultPlan::new().inject(
             secs(2),
             secs(3),
-            FaultKind::PoisonModelOutput { mode: PoisonMode::Nan },
+            FaultKind::PoisonModelOutput {
+                mode: PoisonMode::Nan,
+            },
         );
         let mut inj = FaultInjector::new(plan);
         let t = inj.poll(secs(10));
@@ -392,7 +414,11 @@ mod tests {
         let e = &a.events()[0];
         assert_eq!(e.until - e.at, secs(2), "duration preserved");
         assert!(e.at >= secs(1) && e.at < secs(1) + Nanos::from_millis(500));
-        assert_eq!(a.events()[1].until, Nanos::MAX, "permanent faults stay permanent");
+        assert_eq!(
+            a.events()[1].until,
+            Nanos::MAX,
+            "permanent faults stay permanent"
+        );
         // Zero jitter is the identity.
         assert_eq!(plan.jittered(7, Nanos::ZERO), plan);
     }
@@ -404,7 +430,16 @@ mod tests {
             FaultKind::DroppedSaves { key: "x".into() }.name(),
             "dropped_saves"
         );
-        assert_eq!(FaultKind::FuelExhaustion { limit: 4 }.name(), "fuel_exhaustion");
-        assert_eq!(FaultKind::ReplaceTargetMissing.name(), "replace_target_missing");
+        assert_eq!(
+            FaultKind::FuelExhaustion { limit: 4 }.name(),
+            "fuel_exhaustion"
+        );
+        assert_eq!(
+            FaultKind::ReplaceTargetMissing.name(),
+            "replace_target_missing"
+        );
+        assert_eq!(FaultKind::Crash.name(), "crash");
+        assert_eq!(FaultKind::TornWrite { bytes: 7 }.name(), "torn_write");
+        assert_eq!(FaultKind::SnapshotCorrupt.name(), "snapshot_corrupt");
     }
 }

@@ -74,5 +74,8 @@ pub mod vm;
 
 pub use error::GuardrailError;
 pub use monitor::engine::MonitorEngine;
+pub use monitor::resilience::{RecoveryConfig, RuntimeConfig};
+pub use monitor::supervisor::{Supervisor, SupervisorConfig};
 pub use policy::{FallbackPolicy, GuardedPolicy, LearnedPolicy, PolicyRegistry};
+pub use store::durable::{DurabilityConfig, DurableStore, MemBackend, PersistBackend};
 pub use store::FeatureStore;

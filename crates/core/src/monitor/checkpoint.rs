@@ -1,0 +1,332 @@
+//! Engine checkpoint/restore: the monitor state that must survive a crash.
+//!
+//! A [`EngineCheckpoint`] captures everything a restarted
+//! [`MonitorEngine`](super::MonitorEngine) needs to *resume* rather than
+//! *reset*:
+//!
+//! - per-monitor hysteresis state (debounce window, cooldown phase,
+//!   suppression counter) — so a restart neither re-fires inside a cooldown
+//!   nor forgets a partially-accumulated N-of-M streak;
+//! - per-monitor enabled/disabled, watchdog-trip, and probation state — a
+//!   watchdog-disabled monitor stays disabled across the restart;
+//! - the active variant of every policy slot — the `REPLACE` decision that
+//!   disabled a misbehaving model is re-applied before the first
+//!   post-restart decision;
+//! - the engine clock and aggregate stats, so timers fast-forward instead of
+//!   replaying missed ticks.
+//!
+//! The encoding is a line-oriented text format wrapped in a CRC-32 header:
+//! human-inspectable in a post-mortem, and any torn or bit-rotted blob is
+//! detected and rejected whole (a half-restored engine is worse than a
+//! fresh one).
+
+use simkernel::Nanos;
+
+use crate::error::{GuardrailError, Result};
+use crate::monitor::engine::EngineStats;
+use crate::monitor::hysteresis::{Hysteresis, HysteresisSnapshot};
+use crate::store::wal::crc32;
+
+/// First token of an encoded checkpoint (magic + format version).
+pub const CHECKPOINT_MAGIC: &str = "GRCP1";
+
+/// Per-monitor state captured in a checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonitorCheckpoint {
+    /// The guardrail name (checkpoints address monitors by name, so restore
+    /// works across a reinstall of the same specs).
+    pub name: String,
+    /// Whether the monitor was enabled.
+    pub enabled: bool,
+    /// Whether the watchdog had disabled it.
+    pub watchdog_tripped: bool,
+    /// Rule faults since the last clean evaluation.
+    pub consecutive_faults: u32,
+    /// Pending watchdog probation deadline, if any.
+    pub probation_until: Option<Nanos>,
+    /// Full hysteresis state.
+    pub hysteresis: HysteresisSnapshot,
+}
+
+/// A complete engine checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineCheckpoint {
+    /// The engine clock at checkpoint time; restore fast-forwards timers to
+    /// the first tick strictly after this instant.
+    pub now: Nanos,
+    /// Aggregate stats carried across the restart.
+    pub stats: EngineStats,
+    /// `(slot, active_variant)` for every registered policy slot, sorted.
+    pub slots: Vec<(String, String)>,
+    /// Per-monitor state, in installation order.
+    pub monitors: Vec<MonitorCheckpoint>,
+}
+
+fn encode_opt_nanos(v: Option<Nanos>) -> String {
+    match v {
+        Some(n) => n.as_nanos().to_string(),
+        None => "-".to_string(),
+    }
+}
+
+impl EngineCheckpoint {
+    /// Encodes the checkpoint as a checksummed, line-oriented blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = String::new();
+        body.push_str(&format!("now {}\n", self.now.as_nanos()));
+        let s = &self.stats;
+        body.push_str(&format!(
+            "stats {} {} {} {} {} {} {}\n",
+            s.evaluations,
+            s.violations,
+            s.trips,
+            s.commands_emitted,
+            s.rule_faults,
+            s.watchdog_trips,
+            s.retrain_retries
+        ));
+        for (slot, variant) in &self.slots {
+            body.push_str(&format!("slot {slot} {variant}\n"));
+        }
+        for m in &self.monitors {
+            body.push_str(&format!(
+                "monitor {} {} {} {} {}\n",
+                m.name,
+                u8::from(m.enabled),
+                u8::from(m.watchdog_tripped),
+                m.consecutive_faults,
+                encode_opt_nanos(m.probation_until),
+            ));
+            let h = &m.hysteresis;
+            let recent: String = if h.recent.is_empty() {
+                "-".to_string()
+            } else {
+                h.recent
+                    .iter()
+                    .map(|&v| if v { '1' } else { '0' })
+                    .collect()
+            };
+            body.push_str(&format!(
+                "hyst {} {} {} {} {} {}\n",
+                h.config.trip_threshold,
+                h.config.window,
+                h.config.cooldown.as_nanos(),
+                encode_opt_nanos(h.last_fire),
+                h.suppressed,
+                recent,
+            ));
+        }
+        let mut out = format!("{CHECKPOINT_MAGIC} {:08x}\n", crc32(body.as_bytes()));
+        out.push_str(&body);
+        out.into_bytes()
+    }
+
+    /// Decodes and validates a checkpoint blob.
+    ///
+    /// Any structural damage — bad magic, checksum mismatch, malformed line
+    /// — rejects the whole blob: restore is all-or-nothing.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let corrupt = |why: &str| GuardrailError::Persist(format!("checkpoint corrupt: {why}"));
+        let text = std::str::from_utf8(bytes).map_err(|_| corrupt("not utf-8"))?;
+        let (header, body) = text
+            .split_once('\n')
+            .ok_or_else(|| corrupt("missing header"))?;
+        let mut header_parts = header.split_ascii_whitespace();
+        if header_parts.next() != Some(CHECKPOINT_MAGIC) {
+            return Err(corrupt("bad magic"));
+        }
+        let stored_crc = header_parts
+            .next()
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| corrupt("bad checksum field"))?;
+        if stored_crc != crc32(body.as_bytes()) {
+            return Err(corrupt("checksum mismatch"));
+        }
+
+        let parse_u64 = |s: &str| s.parse::<u64>().map_err(|_| corrupt("bad integer"));
+        let parse_u32 = |s: &str| s.parse::<u32>().map_err(|_| corrupt("bad integer"));
+        let parse_opt_nanos = |s: &str| -> Result<Option<Nanos>> {
+            if s == "-" {
+                Ok(None)
+            } else {
+                Ok(Some(Nanos::from_nanos(parse_u64(s)?)))
+            }
+        };
+
+        let mut now = None;
+        let mut stats = None;
+        let mut slots = Vec::new();
+        let mut monitors: Vec<MonitorCheckpoint> = Vec::new();
+        let mut pending_monitor: Option<MonitorCheckpoint> = None;
+        for line in body.lines() {
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            match fields.as_slice() {
+                ["now", n] => now = Some(Nanos::from_nanos(parse_u64(n)?)),
+                ["stats", ev, vi, tr, cm, rf, wt, rr] => {
+                    stats = Some(EngineStats {
+                        evaluations: parse_u64(ev)?,
+                        violations: parse_u64(vi)?,
+                        trips: parse_u64(tr)?,
+                        commands_emitted: parse_u64(cm)?,
+                        rule_faults: parse_u64(rf)?,
+                        watchdog_trips: parse_u64(wt)?,
+                        retrain_retries: parse_u64(rr)?,
+                    });
+                }
+                ["slot", name, variant] => {
+                    slots.push((name.to_string(), variant.to_string()));
+                }
+                ["monitor", name, enabled, tripped, faults, probation] => {
+                    if pending_monitor.is_some() {
+                        return Err(corrupt("monitor line without hyst line"));
+                    }
+                    pending_monitor = Some(MonitorCheckpoint {
+                        name: name.to_string(),
+                        enabled: *enabled == "1",
+                        watchdog_tripped: *tripped == "1",
+                        consecutive_faults: parse_u32(faults)?,
+                        probation_until: parse_opt_nanos(probation)?,
+                        hysteresis: HysteresisSnapshot {
+                            config: Hysteresis::default(),
+                            recent: Vec::new(),
+                            last_fire: None,
+                            suppressed: 0,
+                        },
+                    });
+                }
+                ["hyst", threshold, window, cooldown, last_fire, suppressed, recent] => {
+                    let mut monitor = pending_monitor
+                        .take()
+                        .ok_or_else(|| corrupt("hyst line without monitor line"))?;
+                    monitor.hysteresis = HysteresisSnapshot {
+                        config: Hysteresis {
+                            trip_threshold: parse_u32(threshold)?,
+                            window: parse_u32(window)?,
+                            cooldown: Nanos::from_nanos(parse_u64(cooldown)?),
+                        },
+                        recent: if *recent == "-" {
+                            Vec::new()
+                        } else {
+                            recent
+                                .chars()
+                                .map(|c| match c {
+                                    '1' => Ok(true),
+                                    '0' => Ok(false),
+                                    _ => Err(corrupt("bad recent bitstring")),
+                                })
+                                .collect::<Result<Vec<bool>>>()?
+                        },
+                        last_fire: parse_opt_nanos(last_fire)?,
+                        suppressed: parse_u64(suppressed)?,
+                    };
+                    monitors.push(monitor);
+                }
+                [] => {}
+                _ => return Err(corrupt("unrecognized line")),
+            }
+        }
+        if pending_monitor.is_some() {
+            return Err(corrupt("monitor line without hyst line"));
+        }
+        Ok(EngineCheckpoint {
+            now: now.ok_or_else(|| corrupt("missing now line"))?,
+            stats: stats.ok_or_else(|| corrupt("missing stats line"))?,
+            slots,
+            monitors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineCheckpoint {
+        EngineCheckpoint {
+            now: Nanos::from_secs(9),
+            stats: EngineStats {
+                evaluations: 12,
+                violations: 3,
+                trips: 2,
+                commands_emitted: 1,
+                rule_faults: 0,
+                watchdog_trips: 0,
+                retrain_retries: 4,
+            },
+            slots: vec![("io_latency".to_string(), "fallback".to_string())],
+            monitors: vec![MonitorCheckpoint {
+                name: "low-false-submit".to_string(),
+                enabled: true,
+                watchdog_tripped: false,
+                consecutive_faults: 0,
+                probation_until: Some(Nanos::from_secs(11)),
+                hysteresis: HysteresisSnapshot {
+                    config: Hysteresis {
+                        trip_threshold: 2,
+                        window: 3,
+                        cooldown: Nanos::from_secs(5),
+                    },
+                    recent: vec![false, true, true],
+                    last_fire: Some(Nanos::from_secs(8)),
+                    suppressed: 7,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let cp = sample();
+        assert_eq!(EngineCheckpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn round_trip_with_empty_collections() {
+        let cp = EngineCheckpoint {
+            now: Nanos::ZERO,
+            stats: EngineStats::default(),
+            slots: Vec::new(),
+            monitors: Vec::new(),
+        };
+        assert_eq!(EngineCheckpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn empty_hysteresis_window_round_trips() {
+        let mut cp = sample();
+        cp.monitors[0].hysteresis.recent.clear();
+        cp.monitors[0].hysteresis.last_fire = None;
+        cp.monitors[0].probation_until = None;
+        assert_eq!(EngineCheckpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let encoded = sample().encode();
+        for i in 0..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[i] ^= 0x04;
+            assert!(
+                EngineCheckpoint::decode(&bad).is_err(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let encoded = sample().encode();
+        for cut in 0..encoded.len() {
+            assert!(EngineCheckpoint::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_inspectable() {
+        let cp = sample();
+        assert_eq!(cp.encode(), cp.encode());
+        let text = String::from_utf8(cp.encode()).unwrap();
+        assert!(text.contains("slot io_latency fallback"));
+        assert!(text.contains("monitor low-false-submit 1 0 0"));
+    }
+}

@@ -9,11 +9,13 @@ use simkernel::Nanos;
 use crate::action::report::ReportSink;
 use crate::action::retrain::RetrainLimiter;
 use crate::action::{Command, CommandOutbox};
+use crate::compile::ir::Program;
 use crate::compile::{compile_str, CompiledAction, CompiledGuardrail};
 use crate::error::{GuardrailError, Result};
+use crate::monitor::checkpoint::{EngineCheckpoint, MonitorCheckpoint};
 use crate::monitor::hysteresis::{Hysteresis, HysteresisState};
 use crate::monitor::overhead::{OverheadAccount, OverheadReport};
-use crate::monitor::resilience::{FailMode, ResilienceConfig};
+use crate::monitor::resilience::{FailMode, ResilienceConfig, RuntimeConfig};
 use crate::monitor::violation::{TriggerKind, Violation, ViolationLog};
 use crate::policy::PolicyRegistry;
 use crate::store::FeatureStore;
@@ -108,7 +110,10 @@ impl Default for MonitorEngine {
 impl MonitorEngine {
     /// Creates an engine with a fresh feature store and policy registry.
     pub fn new() -> Self {
-        Self::with_parts(Arc::new(FeatureStore::new()), Arc::new(PolicyRegistry::new()))
+        Self::with_parts(
+            Arc::new(FeatureStore::new()),
+            Arc::new(PolicyRegistry::new()),
+        )
     }
 
     /// Creates an engine over shared store/registry (the usual setup: the
@@ -142,6 +147,15 @@ impl MonitorEngine {
     /// Sets the fail-safe configuration (default: everything off).
     pub fn set_resilience(&mut self, resilience: ResilienceConfig) {
         self.resilience = resilience;
+    }
+
+    /// Applies the engine-scoped axes of a [`RuntimeConfig`] in one call:
+    /// the resilience bundle and the store quarantine. The `recovery` axis
+    /// wraps engine *construction* (durable store, supervisor) and is
+    /// consumed by the host that owns the engine's lifecycle.
+    pub fn apply_runtime(&mut self, config: &RuntimeConfig) {
+        self.resilience = config.resilience;
+        self.store.set_quarantine(config.quarantine);
     }
 
     /// The current fail-safe configuration.
@@ -522,6 +536,38 @@ impl MonitorEngine {
         }
     }
 
+    /// Evaluates an action operand with the same containment as rule
+    /// evaluation: a fuel-starved or panicking operand yields an error the
+    /// caller reports and skips, instead of taking down the engine.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_operand(
+        vm: &mut Vm,
+        store: &FeatureStore,
+        program: &Program,
+        now: Nanos,
+        args: &[f64],
+        deltas: &mut DeltaState,
+        limit: Option<u64>,
+    ) -> std::result::Result<crate::vm::EvalResult, String> {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            vm.try_run(
+                program,
+                &mut EvalCtx {
+                    store,
+                    now,
+                    args,
+                    deltas,
+                },
+                limit,
+            )
+        }));
+        match run {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(vm_fault)) => Err(vm_fault.to_string()),
+            Err(_) => Err("evaluation panicked".to_string()),
+        }
+    }
+
     fn dispatch_actions(&mut self, midx: usize, now: Nanos, args: &[f64]) {
         let actions = self.monitors[midx].compiled.actions.clone();
         let name = self.monitors[midx].compiled.name.clone();
@@ -535,8 +581,9 @@ impl MonitorEngine {
                     let outcome = if self.resilience.replace_fallback {
                         // Fail-safe chain: a missing variant degrades to the
                         // slot's registered default instead of doing nothing.
-                        self.registry.replace_with_fallback(slot, variant).map(
-                            |chosen| {
+                        self.registry
+                            .replace_with_fallback(slot, variant)
+                            .map(|chosen| {
                                 if &chosen != variant {
                                     self.reports.info(
                                         now,
@@ -547,8 +594,7 @@ impl MonitorEngine {
                                         ),
                                     );
                                 }
-                            },
-                        )
+                            })
                     } else {
                         self.registry.replace(slot, variant)
                     };
@@ -591,17 +637,31 @@ impl MonitorEngine {
                 CompiledAction::Deprioritize { target, steps } => {
                     let steps_value = match steps {
                         Some(program) => {
-                            let r = self.vm.run(
+                            match Self::eval_operand(
+                                &mut self.vm,
+                                &self.store,
                                 program,
-                                &mut EvalCtx {
-                                    store: &self.store,
-                                    now,
-                                    args,
-                                    deltas: &mut self.monitors[midx].action_deltas[aidx],
-                                },
-                            );
-                            fuel += r.fuel;
-                            r.value.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32
+                                now,
+                                args,
+                                &mut self.monitors[midx].action_deltas[aidx],
+                                self.rule_fuel_limit,
+                            ) {
+                                Ok(r) => {
+                                    fuel += r.fuel;
+                                    r.value.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32
+                                }
+                                Err(reason) => {
+                                    self.reports.info(
+                                        now,
+                                        &name,
+                                        format!(
+                                            "DEPRIORITIZE operand fault: {reason}; \
+                                             action skipped"
+                                        ),
+                                    );
+                                    continue;
+                                }
+                            }
                         }
                         None => 5,
                     };
@@ -616,30 +676,52 @@ impl MonitorEngine {
                     self.stats.commands_emitted += 1;
                 }
                 CompiledAction::Save { key, value } => {
-                    let r = self.vm.run(
+                    match Self::eval_operand(
+                        &mut self.vm,
+                        &self.store,
                         value,
-                        &mut EvalCtx {
-                            store: &self.store,
-                            now,
-                            args,
-                            deltas: &mut self.monitors[midx].action_deltas[aidx],
-                        },
-                    );
-                    fuel += r.fuel;
-                    self.store.save(key, r.value);
+                        now,
+                        args,
+                        &mut self.monitors[midx].action_deltas[aidx],
+                        self.rule_fuel_limit,
+                    ) {
+                        Ok(r) => {
+                            fuel += r.fuel;
+                            self.store.save(key, r.value);
+                        }
+                        Err(reason) => {
+                            self.reports.info(
+                                now,
+                                &name,
+                                format!("SAVE operand fault: {reason}; action skipped"),
+                            );
+                            continue;
+                        }
+                    }
                 }
                 CompiledAction::Record { key, value } => {
-                    let r = self.vm.run(
+                    match Self::eval_operand(
+                        &mut self.vm,
+                        &self.store,
                         value,
-                        &mut EvalCtx {
-                            store: &self.store,
-                            now,
-                            args,
-                            deltas: &mut self.monitors[midx].action_deltas[aidx],
-                        },
-                    );
-                    fuel += r.fuel;
-                    self.store.record(key, now, r.value);
+                        now,
+                        args,
+                        &mut self.monitors[midx].action_deltas[aidx],
+                        self.rule_fuel_limit,
+                    ) {
+                        Ok(r) => {
+                            fuel += r.fuel;
+                            self.store.record(key, now, r.value);
+                        }
+                        Err(reason) => {
+                            self.reports.info(
+                                now,
+                                &name,
+                                format!("RECORD operand fault: {reason}; action skipped"),
+                            );
+                            continue;
+                        }
+                    }
                 }
             }
             self.monitors[midx].overhead.charge_action(fuel);
@@ -680,16 +762,105 @@ impl MonitorEngine {
 
     /// Total modelled monitoring time across all monitors.
     pub fn total_modeled_overhead(&self) -> Nanos {
-        self.monitors
-            .iter()
-            .map(|m| m.overhead.modeled())
-            .sum()
+        self.monitors.iter().map(|m| m.overhead.modeled()).sum()
     }
 
     /// Violations suppressed by hysteresis for `name`.
     pub fn suppressed(&self, name: &str) -> Result<u64> {
         let idx = self.lookup(name)?;
         Ok(self.monitors[idx].hysteresis.suppressed())
+    }
+
+    /// Captures the engine state that must survive a crash: the clock,
+    /// aggregate stats, every live monitor's hysteresis/watchdog/enabled
+    /// state, and the active variant of every policy slot. Take a
+    /// checkpoint after `advance_to`/`on_function` returns — never
+    /// mid-dispatch.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            now: self.now,
+            stats: self.stats,
+            slots: self.registry.active_variants(),
+            monitors: self
+                .monitors
+                .iter()
+                .filter(|m| !m.retired)
+                .map(|m| MonitorCheckpoint {
+                    name: m.compiled.name.clone(),
+                    enabled: m.enabled,
+                    watchdog_tripped: m.watchdog_tripped,
+                    consecutive_faults: m.consecutive_faults,
+                    probation_until: m.probation_until,
+                    hysteresis: m.hysteresis.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a checkpoint into this engine.
+    ///
+    /// Call after reinstalling the same guardrail specs into a freshly
+    /// built engine: monitors are matched by name (a checkpointed monitor
+    /// whose spec is no longer installed is skipped — the operator changed
+    /// the deployment, which wins over history). Policy slots are re-pinned
+    /// to their checkpointed active variants, so a `REPLACE` decision made
+    /// before the crash holds after it. Timers fast-forward to the first
+    /// tick strictly after the checkpoint instant — missed ticks are *not*
+    /// replayed (their inputs are gone; re-running them against current
+    /// state would double-fire actions).
+    pub fn restore(&mut self, checkpoint: &EngineCheckpoint) -> Result<()> {
+        for (slot, variant) in &checkpoint.slots {
+            if self.registry.active(slot).is_some() {
+                self.registry.replace(slot, variant)?;
+            }
+        }
+        for mc in &checkpoint.monitors {
+            let Some(&idx) = self.names.get(&mc.name) else {
+                continue;
+            };
+            let m = &mut self.monitors[idx];
+            m.enabled = mc.enabled;
+            m.watchdog_tripped = mc.watchdog_tripped;
+            m.consecutive_faults = mc.consecutive_faults;
+            m.probation_until = mc.probation_until;
+            m.hysteresis = HysteresisState::from_snapshot(&mc.hysteresis);
+        }
+        self.now = self.now.max(checkpoint.now);
+        self.stats = checkpoint.stats;
+        self.fast_forward_timers();
+        Ok(())
+    }
+
+    /// Rebuilds the timer heap so every chain resumes at its first tick
+    /// strictly after `self.now`, preserving each timer's original phase
+    /// (`start + k·interval`).
+    fn fast_forward_timers(&mut self) {
+        let now = self.now;
+        let mut timers = BinaryHeap::new();
+        for (midx, m) in self.monitors.iter().enumerate() {
+            if m.retired {
+                continue;
+            }
+            for (tidx, timer) in m.compiled.timers.iter().enumerate() {
+                let first = if timer.start > now {
+                    timer.start
+                } else {
+                    let interval = timer.interval.as_nanos().max(1);
+                    let elapsed = now.as_nanos() - timer.start.as_nanos();
+                    let k = elapsed / interval + 1;
+                    Nanos::from_nanos(
+                        timer
+                            .start
+                            .as_nanos()
+                            .saturating_add(interval.saturating_mul(k)),
+                    )
+                };
+                if first <= timer.stop {
+                    timers.push(Reverse((first, midx, tidx)));
+                }
+            }
+        }
+        self.timers = timers;
     }
 }
 
@@ -847,7 +1018,10 @@ guardrail low-false-submit {
             &commands[0].1,
             Command::Retrain { model, .. } if model == "io_model"
         ));
-        assert!(engine.drain_commands().is_empty(), "drain empties the outbox");
+        assert!(
+            engine.drain_commands().is_empty(),
+            "drain empties the outbox"
+        );
     }
 
     #[test]
@@ -883,7 +1057,9 @@ guardrail low-false-submit {
     fn replace_action_swaps_registry() {
         let mut engine = MonitorEngine::new();
         let registry = engine.registry();
-        registry.register("io_policy", &["learned", "fallback"]).unwrap();
+        registry
+            .register("io_policy", &["learned", "fallback"])
+            .unwrap();
         engine
             .install_str(
                 "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { REPLACE(io_policy, fallback) } }",
@@ -958,7 +1134,10 @@ guardrail low-false-submit {
             )
             .unwrap();
         engine.advance_to(Nanos::from_secs(5));
-        assert!(store.flag("ml_enabled"), "8% is fine under the relaxed bound");
+        assert!(
+            store.flag("ml_enabled"),
+            "8% is fine under the relaxed bound"
+        );
         assert_eq!(engine.monitor_names(), vec!["low-false-submit".to_string()]);
 
         // A compile error leaves the installed set untouched.
@@ -988,7 +1167,10 @@ guardrail low-false-submit {
         assert_eq!(engine.stats().watchdog_trips, 1);
         assert_eq!(engine.stats().evaluations, 3);
         assert!(engine.watchdog_tripped("g").unwrap());
-        assert!(engine.violations().is_empty(), "faulted rules record no violations");
+        assert!(
+            engine.violations().is_empty(),
+            "faulted rules record no violations"
+        );
         let reports = engine.reports().records();
         assert!(reports.iter().any(|r| r.message.contains("rule fault")));
         assert!(reports
@@ -1000,6 +1182,36 @@ guardrail low-false-submit {
         assert!(!engine.watchdog_tripped("g").unwrap());
         engine.advance_to(Nanos::from_secs(12));
         assert!(engine.stats().evaluations > 3, "evaluations resumed");
+    }
+
+    #[test]
+    fn starved_action_operand_is_skipped_not_fatal() {
+        let mut engine = MonitorEngine::new();
+        engine
+            .install_str(
+                "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) <= 0.05 }, \
+                 action: { SAVE(y, QUANTILE(lat, 0.99, 10s)) } }",
+            )
+            .unwrap();
+        let store = engine.store();
+        store.save("x", 1.0); // Rule violated: the action will fire.
+        store.save("y", 7.0);
+        // Rule (LOAD + PUSH + LE = 6 fuel) fits the budget; the SAVE operand
+        // (QUANTILE = 16 fuel) does not, so the action must be skipped — not
+        // write a bogus value, and not panic the engine.
+        engine.set_rule_fuel_limit(Some(10));
+        engine.advance_to(Nanos::from_secs(2));
+        assert!(engine.stats().trips > 0, "the violation still trips");
+        assert_eq!(store.load("y"), Some(7.0), "starved SAVE left y untouched");
+        assert!(engine
+            .reports()
+            .records()
+            .iter()
+            .any(|r| r.message.contains("SAVE operand fault")));
+        // With the budget lifted the action completes again.
+        engine.set_rule_fuel_limit(None);
+        engine.advance_to(Nanos::from_secs(4));
+        assert_eq!(store.load("y"), Some(0.0), "empty quantile writes 0");
     }
 
     #[test]
@@ -1045,7 +1257,10 @@ guardrail low-false-submit {
         // The fault clears while the monitor sits out its probation.
         engine.set_rule_fuel_limit(None);
         engine.advance_to(Nanos::from_secs(6));
-        assert!(!engine.watchdog_tripped("g").unwrap(), "probation re-enabled it");
+        assert!(
+            !engine.watchdog_tripped("g").unwrap(),
+            "probation re-enabled it"
+        );
         assert!(
             !engine.violations().is_empty(),
             "rule evaluates (and violates) again after re-enable"
@@ -1153,7 +1368,10 @@ guardrail low-false-submit {
         let spec = "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { REPLACE(io_policy, experimental) } }";
         // Unhardened: the missing variant is only a log line.
         let mut engine = MonitorEngine::new();
-        engine.registry().register("io_policy", &["learned", "fallback"]).unwrap();
+        engine
+            .registry()
+            .register("io_policy", &["learned", "fallback"])
+            .unwrap();
         engine.install_str(spec).unwrap();
         engine.advance_to(Nanos::ZERO);
         assert!(engine.registry().is_active("io_policy", "learned"));
@@ -1168,7 +1386,10 @@ guardrail low-false-submit {
             replace_fallback: true,
             ..ResilienceConfig::default()
         });
-        engine.registry().register("io_policy", &["learned", "fallback"]).unwrap();
+        engine
+            .registry()
+            .register("io_policy", &["learned", "fallback"])
+            .unwrap();
         engine.install_str(spec).unwrap();
         engine.advance_to(Nanos::ZERO);
         assert!(engine.registry().is_active("io_policy", "fallback"));
@@ -1201,7 +1422,9 @@ guardrail low-false-submit {
         );
         let commands = engine.drain_commands();
         assert!(
-            commands.iter().any(|(_, c)| matches!(c, Command::Deprioritize { guardrail, .. } if guardrail == "dep")),
+            commands.iter().any(
+                |(_, c)| matches!(c, Command::Deprioritize { guardrail, .. } if guardrail == "dep")
+            ),
             "pending commands from the uninstalled monitor still drain"
         );
         // And its overhead account remains readable post-mortem.
@@ -1235,6 +1458,125 @@ guardrail low-false-submit {
             "suppression counter belongs to the new instance"
         );
         assert_eq!(engine.monitor_names(), vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_decisions_and_hysteresis() {
+        let spec = "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) > 0 }, action: { REPLACE(io_policy, fallback) SAVE(fired, LOAD(fired) + 1) } }";
+        let mut engine = MonitorEngine::new();
+        engine
+            .registry()
+            .register("io_policy", &["learned", "fallback"])
+            .unwrap();
+        engine.install_str(spec).unwrap();
+        engine
+            .set_hysteresis("g", Hysteresis::cooldown(Nanos::from_secs(100)))
+            .unwrap();
+        engine.advance_to(Nanos::from_secs(3));
+        // Fired once at t=0 (REPLACE), then suppressed by the cooldown.
+        assert!(engine.registry().is_active("io_policy", "fallback"));
+        assert_eq!(engine.store().load("fired"), Some(1.0));
+        assert_eq!(engine.suppressed("g").unwrap(), 3);
+        let checkpoint = engine.checkpoint();
+        let stats_before = engine.stats();
+
+        // "Restart": fresh engine over fresh parts, same specs, then restore.
+        let mut restarted = MonitorEngine::new();
+        restarted
+            .registry()
+            .register("io_policy", &["learned", "fallback"])
+            .unwrap();
+        restarted.install_str(spec).unwrap();
+        restarted
+            .set_hysteresis("g", Hysteresis::cooldown(Nanos::from_secs(100)))
+            .unwrap();
+        restarted.restore(&checkpoint).unwrap();
+        // The REPLACE decision survived even though the fresh registry
+        // booted with "learned" active.
+        assert!(restarted.registry().is_active("io_policy", "fallback"));
+        assert_eq!(restarted.now(), Nanos::from_secs(3));
+        assert_eq!(restarted.stats(), stats_before);
+        assert_eq!(restarted.suppressed("g").unwrap(), 3);
+        // The cooldown phase survived too: ticks keep being suppressed, and
+        // no tick is replayed (the t=3 tick ran pre-crash).
+        restarted.store().save("fired", 0.0);
+        restarted.advance_to(Nanos::from_secs(5));
+        assert_eq!(
+            restarted.store().load("fired"),
+            Some(0.0),
+            "still cooling down"
+        );
+        assert_eq!(restarted.suppressed("g").unwrap(), 5);
+        assert_eq!(
+            restarted.stats().evaluations,
+            stats_before.evaluations + 2,
+            "exactly the t=4 and t=5 ticks ran after restore"
+        );
+    }
+
+    #[test]
+    fn restore_preserves_disabled_and_watchdog_state() {
+        use crate::monitor::resilience::{ResilienceConfig, WatchdogConfig};
+        let spec = "guardrail g { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) < 0 }, action: { REPORT(m) } }";
+        let mut engine = MonitorEngine::new();
+        engine.set_resilience(ResilienceConfig {
+            watchdog: Some(WatchdogConfig::default().with_max_faults(2)),
+            ..ResilienceConfig::default()
+        });
+        engine.install_str(spec).unwrap();
+        engine.set_rule_fuel_limit(Some(1));
+        engine.advance_to(Nanos::from_secs(1)); // Two faults: watchdog trips.
+        assert!(engine.watchdog_tripped("g").unwrap());
+        let checkpoint = engine.checkpoint();
+
+        let mut restarted = MonitorEngine::new();
+        restarted.install_str(spec).unwrap();
+        restarted.restore(&checkpoint).unwrap();
+        assert!(
+            restarted.watchdog_tripped("g").unwrap(),
+            "a watchdog-disabled monitor stays disabled across the restart"
+        );
+        restarted.advance_to(Nanos::from_secs(5));
+        assert_eq!(
+            restarted.stats().evaluations,
+            checkpoint.stats.evaluations,
+            "disabled monitor does not evaluate after restore"
+        );
+    }
+
+    #[test]
+    fn restore_skips_unknown_monitors_and_slots() {
+        let mut engine = MonitorEngine::new();
+        engine.registry().register("s", &["a", "b"]).unwrap();
+        engine.install_str(LISTING_2).unwrap();
+        engine.advance_to(Nanos::from_secs(2));
+        let checkpoint = engine.checkpoint();
+        // The restarted deployment has neither the slot nor the guardrail:
+        // restore is a clean no-op for both.
+        let mut restarted = MonitorEngine::new();
+        restarted
+            .install_str("guardrail other { trigger: { TIMER(0, 1s) }, rule: { LOAD(x) >= 0 }, action: { REPORT(m) } }")
+            .unwrap();
+        restarted.restore(&checkpoint).unwrap();
+        assert_eq!(restarted.now(), Nanos::from_secs(2));
+        // The surviving monitor's timers fast-forwarded past the checkpoint.
+        restarted.advance_to(Nanos::from_secs(3));
+        assert_eq!(
+            restarted.stats().evaluations,
+            checkpoint.stats.evaluations + 1
+        );
+    }
+
+    #[test]
+    fn apply_runtime_sets_resilience_and_quarantine() {
+        let mut engine = MonitorEngine::new();
+        assert!(engine.store().quarantine_enabled(), "store default");
+        engine.apply_runtime(&RuntimeConfig::seed());
+        assert!(!engine.store().quarantine_enabled());
+        assert_eq!(engine.resilience(), ResilienceConfig::disabled());
+        engine.apply_runtime(&RuntimeConfig::hardened());
+        assert!(engine.store().quarantine_enabled());
+        assert_eq!(engine.resilience(), ResilienceConfig::hardened());
     }
 
     #[test]

@@ -5,14 +5,20 @@
 //! evaluates rules on the VM, records [`violation::Violation`]s, applies
 //! hysteresis, dispatches actions, and accounts per-monitor overhead.
 
+pub mod checkpoint;
 pub mod engine;
 pub mod hysteresis;
 pub mod overhead;
 pub mod resilience;
+pub mod supervisor;
 pub mod violation;
 
+pub use checkpoint::{EngineCheckpoint, MonitorCheckpoint};
 pub use engine::{EngineStats, MonitorEngine, MonitorId};
-pub use hysteresis::{Hysteresis, HysteresisState};
+pub use hysteresis::{Hysteresis, HysteresisSnapshot, HysteresisState};
 pub use overhead::{OverheadAccount, OverheadReport, NS_PER_FUEL};
-pub use resilience::{FailMode, ResilienceConfig, RetryPolicy, WatchdogConfig};
+pub use resilience::{
+    FailMode, RecoveryConfig, ResilienceConfig, RetryPolicy, RuntimeConfig, WatchdogConfig,
+};
+pub use supervisor::{fail_closed, RestartDecision, Supervisor, SupervisorConfig, SupervisorState};
 pub use violation::{TriggerKind, Violation, ViolationLog};

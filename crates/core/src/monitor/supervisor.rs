@@ -1,0 +1,318 @@
+//! The engine supervisor: a restart loop with backoff and escalation.
+//!
+//! A crash-consistent store and checkpoint (see [`crate::store::durable`]
+//! and [`super::checkpoint`]) make a *single* restart safe; the supervisor
+//! governs what happens when restarts keep happening. It implements the
+//! classic init-style ladder:
+//!
+//! 1. **Restart with capped exponential backoff** — each crash that lands
+//!    within [`SupervisorConfig::rapid_window`] of the previous one doubles
+//!    the restart delay, up to [`SupervisorConfig::max_backoff`]. A crash
+//!    after a quiet period resets the ladder.
+//! 2. **Fail closed** — after [`SupervisorConfig::max_rapid_crashes`]
+//!    consecutive rapid crashes the supervisor stops restarting and pins
+//!    every policy slot to its safe fallback variant
+//!    ([`fail_closed`]): if the guardrail runtime cannot stay up, the
+//!    learned policies it was guarding must not keep making decisions
+//!    unguarded.
+//!
+//! The supervisor is deliberately a pure state machine over simulated time:
+//! the host (a storage simulation, a kernel module loader, a test) owns the
+//! actual rebuild of engine and store and drives [`Supervisor::on_crash`] /
+//! [`Supervisor::on_restarted`].
+
+use simkernel::Nanos;
+
+use crate::policy::PolicyRegistry;
+use crate::store::FeatureStore;
+
+/// Restart-loop policy knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Backoff before the first restart of a rapid-crash streak.
+    pub initial_backoff: Nanos,
+    /// Upper bound on the exponential backoff.
+    pub max_backoff: Nanos,
+    /// A crash within this interval of the previous crash counts as
+    /// "rapid" (part of a crash loop rather than an isolated incident).
+    pub rapid_window: Nanos,
+    /// Consecutive rapid crashes before escalating to fail-closed.
+    pub max_rapid_crashes: u32,
+}
+
+impl Default for SupervisorConfig {
+    /// 100ms initial backoff doubling to 10s; a 5s rapid window; escalate
+    /// after 3 consecutive rapid crashes.
+    fn default() -> Self {
+        SupervisorConfig {
+            initial_backoff: Nanos::from_millis(100),
+            max_backoff: Nanos::from_secs(10),
+            rapid_window: Nanos::from_secs(5),
+            max_rapid_crashes: 3,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Returns this config with a different escalation threshold.
+    pub fn with_max_rapid_crashes(mut self, n: u32) -> Self {
+        self.max_rapid_crashes = n.max(1);
+        self
+    }
+
+    /// Returns this config with a different rapid-crash window.
+    pub fn with_rapid_window(mut self, window: Nanos) -> Self {
+        self.rapid_window = window;
+        self
+    }
+}
+
+/// Where the supervisor currently is in its ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupervisorState {
+    /// The engine is (believed) running.
+    Running,
+    /// Waiting out a restart backoff.
+    BackingOff {
+        /// When the restart is due.
+        until: Nanos,
+    },
+    /// Escalated: no more restarts; policies pinned to fallbacks.
+    FailClosed,
+}
+
+/// What the host should do about a crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartDecision {
+    /// Rebuild and restart the engine at `at` (after `backoff`).
+    Restart {
+        /// Simulated time at which to restart.
+        at: Nanos,
+        /// The backoff that was applied.
+        backoff: Nanos,
+    },
+    /// Stop restarting; apply [`fail_closed`] and leave the system on its
+    /// safe fallbacks.
+    FailClosed,
+}
+
+/// The restart-loop state machine.
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    state: SupervisorState,
+    last_crash: Option<Nanos>,
+    /// Length of the current rapid-crash streak (1 = isolated crash).
+    consecutive_rapid: u32,
+    crashes: u64,
+    restarts: u64,
+}
+
+impl Supervisor {
+    /// Creates a supervisor in the `Running` state.
+    pub fn new(config: SupervisorConfig) -> Self {
+        Supervisor {
+            config,
+            state: SupervisorState::Running,
+            last_crash: None,
+            consecutive_rapid: 0,
+            crashes: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Records a crash at `now` and decides whether to restart or escalate.
+    pub fn on_crash(&mut self, now: Nanos) -> RestartDecision {
+        if self.state == SupervisorState::FailClosed {
+            return RestartDecision::FailClosed;
+        }
+        self.crashes += 1;
+        let rapid = self
+            .last_crash
+            .is_some_and(|prev| now.saturating_sub(prev) <= self.config.rapid_window);
+        self.consecutive_rapid = if rapid { self.consecutive_rapid + 1 } else { 1 };
+        self.last_crash = Some(now);
+        if self.consecutive_rapid >= self.config.max_rapid_crashes {
+            self.state = SupervisorState::FailClosed;
+            return RestartDecision::FailClosed;
+        }
+        // Doubling backoff: initial, 2x, 4x, ... capped at max_backoff.
+        let exponent = self.consecutive_rapid.saturating_sub(1).min(20);
+        let backoff = Nanos::from_nanos(
+            self.config
+                .initial_backoff
+                .as_nanos()
+                .saturating_mul(1u64 << exponent),
+        )
+        .min(self.config.max_backoff);
+        let at = now + backoff;
+        self.state = SupervisorState::BackingOff { until: at };
+        RestartDecision::Restart { at, backoff }
+    }
+
+    /// Records that the host completed a restart.
+    pub fn on_restarted(&mut self) {
+        if self.state != SupervisorState::FailClosed {
+            self.restarts += 1;
+            self.state = SupervisorState::Running;
+        }
+    }
+
+    /// The current ladder position.
+    pub fn state(&self) -> SupervisorState {
+        self.state
+    }
+
+    /// `true` once the supervisor has escalated to fail-closed.
+    pub fn failed_closed(&self) -> bool {
+        self.state == SupervisorState::FailClosed
+    }
+
+    /// Total crashes observed.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Total restarts performed.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+}
+
+/// The fail-closed escalation: pins every policy slot to its safe fallback
+/// variant and zeroes the given enable flags in the feature store (e.g.
+/// `ml_enabled`), so learned policies stop making decisions even though no
+/// guardrail monitor is left running to disable them. Returns the
+/// `(slot, variant)` pins applied.
+pub fn fail_closed(
+    registry: &PolicyRegistry,
+    store: &FeatureStore,
+    disable_flags: &[&str],
+) -> Vec<(String, String)> {
+    let pinned = registry.pin_all_fallbacks();
+    for flag in disable_flags {
+        store.save(flag, 0.0);
+    }
+    pinned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Nanos {
+        Nanos::from_secs(s)
+    }
+
+    #[test]
+    fn isolated_crashes_restart_with_initial_backoff() {
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        assert_eq!(sup.state(), SupervisorState::Running);
+        // Crashes 100s apart never build a streak.
+        for i in 0..10u64 {
+            let now = secs(100 * (i + 1));
+            let decision = sup.on_crash(now);
+            assert_eq!(
+                decision,
+                RestartDecision::Restart {
+                    at: now + Nanos::from_millis(100),
+                    backoff: Nanos::from_millis(100),
+                }
+            );
+            sup.on_restarted();
+        }
+        assert_eq!(sup.crashes(), 10);
+        assert_eq!(sup.restarts(), 10);
+        assert!(!sup.failed_closed());
+    }
+
+    #[test]
+    fn rapid_crashes_double_the_backoff_then_escalate() {
+        let config = SupervisorConfig::default().with_max_rapid_crashes(4);
+        let mut sup = Supervisor::new(config);
+        let d1 = sup.on_crash(secs(10));
+        assert!(matches!(
+            d1,
+            RestartDecision::Restart { backoff, .. } if backoff == Nanos::from_millis(100)
+        ));
+        sup.on_restarted();
+        let d2 = sup.on_crash(secs(11));
+        assert!(matches!(
+            d2,
+            RestartDecision::Restart { backoff, .. } if backoff == Nanos::from_millis(200)
+        ));
+        sup.on_restarted();
+        let d3 = sup.on_crash(secs(12));
+        assert!(matches!(
+            d3,
+            RestartDecision::Restart { backoff, .. } if backoff == Nanos::from_millis(400)
+        ));
+        sup.on_restarted();
+        // Fourth rapid crash: escalate.
+        assert_eq!(sup.on_crash(secs(13)), RestartDecision::FailClosed);
+        assert!(sup.failed_closed());
+        assert_eq!(sup.state(), SupervisorState::FailClosed);
+        // Further crashes stay escalated, and restarts are refused.
+        assert_eq!(sup.on_crash(secs(14)), RestartDecision::FailClosed);
+        let restarts = sup.restarts();
+        sup.on_restarted();
+        assert_eq!(sup.restarts(), restarts, "no restart once failed closed");
+    }
+
+    #[test]
+    fn a_quiet_period_resets_the_streak() {
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        sup.on_crash(secs(10));
+        sup.on_restarted();
+        sup.on_crash(secs(11));
+        sup.on_restarted();
+        // 100s of stability: the next crash is isolated again.
+        let decision = sup.on_crash(secs(111));
+        assert!(matches!(
+            decision,
+            RestartDecision::Restart { backoff, .. } if backoff == Nanos::from_millis(100)
+        ));
+        assert!(!sup.failed_closed());
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let config = SupervisorConfig {
+            initial_backoff: Nanos::from_secs(4),
+            max_backoff: Nanos::from_secs(6),
+            rapid_window: Nanos::from_secs(1_000),
+            max_rapid_crashes: 100,
+        };
+        let mut sup = Supervisor::new(config);
+        sup.on_crash(secs(0));
+        sup.on_restarted();
+        let decision = sup.on_crash(secs(10));
+        assert!(matches!(
+            decision,
+            RestartDecision::Restart { backoff, .. } if backoff == Nanos::from_secs(6)
+        ));
+    }
+
+    #[test]
+    fn fail_closed_pins_fallbacks_and_clears_flags() {
+        let registry = PolicyRegistry::new();
+        registry
+            .register("io_latency", &["learned", "fallback"])
+            .unwrap();
+        registry.register("sched", &["a", "b"]).unwrap();
+        registry.set_default_variant("sched", "b").unwrap();
+        let store = FeatureStore::new();
+        store.save("ml_enabled", 1.0);
+        let pinned = fail_closed(&registry, &store, &["ml_enabled"]);
+        assert_eq!(
+            pinned,
+            vec![
+                ("io_latency".to_string(), "fallback".to_string()),
+                ("sched".to_string(), "b".to_string()),
+            ]
+        );
+        assert!(registry.is_active("io_latency", "fallback"));
+        assert!(registry.is_active("sched", "b"));
+        assert_eq!(store.load("ml_enabled"), Some(0.0));
+    }
+}

@@ -126,9 +126,9 @@ impl PolicyRegistry {
     /// degrades to when a requested variant is missing.
     pub fn set_default_variant(&self, slot: &str, variant: &str) -> Result<()> {
         let mut slots = self.slots.write();
-        let s = slots.get_mut(slot).ok_or_else(|| {
-            GuardrailError::Config(format!("no policy slot '{slot}'"))
-        })?;
+        let s = slots
+            .get_mut(slot)
+            .ok_or_else(|| GuardrailError::Config(format!("no policy slot '{slot}'")))?;
         if !s.variants.iter().any(|v| v == variant) {
             return Err(GuardrailError::Config(format!(
                 "slot '{slot}' has no variant '{variant}' (variants: {:?})",
@@ -145,9 +145,9 @@ impl PolicyRegistry {
     /// The active variant and the last remaining variant cannot be removed.
     pub fn unregister_variant(&self, slot: &str, variant: &str) -> Result<()> {
         let mut slots = self.slots.write();
-        let s = slots.get_mut(slot).ok_or_else(|| {
-            GuardrailError::Config(format!("no policy slot '{slot}'"))
-        })?;
+        let s = slots
+            .get_mut(slot)
+            .ok_or_else(|| GuardrailError::Config(format!("no policy slot '{slot}'")))?;
         if s.active == variant {
             return Err(GuardrailError::Config(format!(
                 "cannot unregister active variant '{variant}' of slot '{slot}'"
@@ -222,6 +222,59 @@ impl PolicyRegistry {
             s.swaps += 1;
         }
         Ok(())
+    }
+
+    /// Returns every slot's active variant, sorted by slot name — the
+    /// registry state an engine checkpoint persists so a `REPLACE` decision
+    /// survives a crash.
+    pub fn active_variants(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .slots
+            .read()
+            .iter()
+            .map(|(name, s)| (name.clone(), s.active.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Pins `slot` to its known-safe fallback variant (explicit default,
+    /// else the conventional `"fallback"`, else the first registered) and
+    /// returns the variant chosen. This is the supervisor's fail-closed
+    /// escalation: after repeated crash loops, every learned policy is
+    /// forced onto its safe variant regardless of what the (possibly lost)
+    /// monitor state said.
+    pub fn pin_fallback(&self, slot: &str) -> Result<String> {
+        let mut slots = self.slots.write();
+        let s = slots
+            .get_mut(slot)
+            .ok_or_else(|| GuardrailError::Config(format!("no policy slot '{slot}'")))?;
+        let chosen = s.fallback_variant().to_string();
+        if s.active != chosen {
+            s.active = chosen.clone();
+            s.swaps += 1;
+        }
+        Ok(chosen)
+    }
+
+    /// Pins every registered slot to its fallback variant (see
+    /// [`PolicyRegistry::pin_fallback`]); returns `(slot, variant)` pairs,
+    /// sorted by slot.
+    pub fn pin_all_fallbacks(&self) -> Vec<(String, String)> {
+        let mut slots = self.slots.write();
+        let mut out: Vec<(String, String)> = slots
+            .iter_mut()
+            .map(|(name, s)| {
+                let chosen = s.fallback_variant().to_string();
+                if s.active != chosen {
+                    s.active = chosen.clone();
+                    s.swaps += 1;
+                }
+                (name.clone(), chosen)
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// How many effective swaps `slot` has seen.
@@ -356,7 +409,8 @@ mod tests {
     #[test]
     fn replace_with_fallback_degrades_to_the_safe_variant() {
         let reg = PolicyRegistry::new();
-        reg.register("io", &[VARIANT_LEARNED, VARIANT_FALLBACK]).unwrap();
+        reg.register("io", &[VARIANT_LEARNED, VARIANT_FALLBACK])
+            .unwrap();
         // The requested variant exists: behaves like `replace`.
         assert_eq!(
             reg.replace_with_fallback("io", VARIANT_FALLBACK).unwrap(),
@@ -384,14 +438,21 @@ mod tests {
     #[test]
     fn unregister_variant_models_a_missing_target() {
         let reg = PolicyRegistry::new();
-        reg.register("io", &[VARIANT_LEARNED, VARIANT_FALLBACK, "v2"]).unwrap();
+        reg.register("io", &[VARIANT_LEARNED, VARIANT_FALLBACK, "v2"])
+            .unwrap();
         reg.set_default_variant("io", "v2").unwrap();
         reg.unregister_variant("io", "v2").unwrap();
         assert!(reg.replace("io", "v2").is_err(), "target is gone");
         // Removing the default clears it; the convention takes over again.
-        assert_eq!(reg.replace_with_fallback("io", "v2").unwrap(), VARIANT_FALLBACK);
+        assert_eq!(
+            reg.replace_with_fallback("io", "v2").unwrap(),
+            VARIANT_FALLBACK
+        );
         // Guards: active and unknown variants, unknown slots.
-        assert!(reg.unregister_variant("io", VARIANT_FALLBACK).is_err(), "active");
+        assert!(
+            reg.unregister_variant("io", VARIANT_FALLBACK).is_err(),
+            "active"
+        );
         assert!(reg.unregister_variant("io", "nope").is_err());
         assert!(reg.unregister_variant("ghost", "x").is_err());
     }
@@ -399,13 +460,8 @@ mod tests {
     #[test]
     fn guarded_policy_dispatches_on_registry() {
         let reg = Arc::new(PolicyRegistry::new());
-        let mut gp = GuardedPolicy::new(
-            "io",
-            Arc::clone(&reg),
-            ConstPolicy(0.9),
-            |_: &[f64]| 0.1,
-        )
-        .unwrap();
+        let mut gp =
+            GuardedPolicy::new("io", Arc::clone(&reg), ConstPolicy(0.9), |_: &[f64]| 0.1).unwrap();
         assert_eq!(gp.decide(&[]), 0.9);
         assert!(gp.learned_active());
         assert_eq!(gp.inference_cost(), 500);

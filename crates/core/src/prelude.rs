@@ -7,8 +7,7 @@ pub use crate::monitor::{
     WatchdogConfig,
 };
 pub use crate::policy::{
-    FallbackPolicy, GuardedPolicy, LearnedPolicy, PolicyRegistry, VARIANT_FALLBACK,
-    VARIANT_LEARNED,
+    FallbackPolicy, GuardedPolicy, LearnedPolicy, PolicyRegistry, VARIANT_FALLBACK, VARIANT_LEARNED,
 };
 pub use crate::spec::{parse, parse_and_check};
 pub use crate::store::FeatureStore;

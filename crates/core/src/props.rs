@@ -105,7 +105,13 @@ pub fn p4_decision_quality(
 /// P5: decision overhead. Requires windowed inference cost (published under
 /// `<model>.inference_ns`) to stay below the windowed gain the policy
 /// delivers (published under `<model>.gain_ns`).
-pub fn p5_decision_overhead(name: &str, model: &str, slot: &str, window: Nanos, check_every: Nanos) -> String {
+pub fn p5_decision_overhead(
+    name: &str,
+    model: &str,
+    slot: &str,
+    window: Nanos,
+    check_every: Nanos,
+) -> String {
     format!(
         r#"guardrail {name} {{
     trigger: {{ TIMER({window}, {interval}) }},
@@ -231,8 +237,21 @@ mod tests {
             p1_in_distribution("p1-drift", "io_model", 0.25, tick),
             p2_robustness("p2-robust", "cc_model", 10.0, tick),
             p3_output_bounds("p3-bounds", "alloc_decide", "alloc_policy", 0.0, 4096.0),
-            p4_decision_quality("p4-quality", "io_model", "io_policy", 0.9, Nanos::from_secs(10), tick),
-            p5_decision_overhead("p5-overhead", "io_model", "io_policy", Nanos::from_secs(10), tick),
+            p4_decision_quality(
+                "p4-quality",
+                "io_model",
+                "io_policy",
+                0.9,
+                Nanos::from_secs(10),
+                tick,
+            ),
+            p5_decision_overhead(
+                "p5-overhead",
+                "io_model",
+                "io_policy",
+                Nanos::from_secs(10),
+                tick,
+            ),
             p6_starvation_freedom("p6-liveness", "sched", Nanos::from_millis(100), tick),
         ];
         for spec in &specs {
@@ -245,15 +264,21 @@ mod tests {
 
     #[test]
     fn p3_uses_function_trigger() {
-        let compiled =
-            compile_str(&p3_output_bounds("g", "decide", "slot", 0.0, 10.0)).unwrap();
+        let compiled = compile_str(&p3_output_bounds("g", "decide", "slot", 0.0, 10.0)).unwrap();
         assert_eq!(compiled[0].hooks, vec!["decide".to_string()]);
         assert!(compiled[0].timers.is_empty());
     }
 
     #[test]
     fn p4_embeds_window_and_threshold() {
-        let spec = p4_decision_quality("g", "m", "s", 0.9, Nanos::from_secs(10), Nanos::from_secs(1));
+        let spec = p4_decision_quality(
+            "g",
+            "m",
+            "s",
+            0.9,
+            Nanos::from_secs(10),
+            Nanos::from_secs(1),
+        );
         assert!(spec.contains("AVG(m.accuracy, 10000000000)"), "{spec}");
         assert!(spec.contains(">= 0.9"), "{spec}");
     }

@@ -274,9 +274,9 @@ impl Expr {
         let mut keys = Vec::new();
         self.walk(&mut |e| match e {
             Expr::Load(k) | Expr::Ewma(k) | Expr::Delta(k) => keys.push(k.clone()),
-            Expr::Aggregate { key, .. }
-            | Expr::Quantile { key, .. }
-            | Expr::Hist { key, .. } => keys.push(key.clone()),
+            Expr::Aggregate { key, .. } | Expr::Quantile { key, .. } | Expr::Hist { key, .. } => {
+                keys.push(key.clone())
+            }
             _ => {}
         });
         keys.sort();

@@ -135,7 +135,10 @@ fn check_guardrail(g: &Guardrail, bindings: &HashMap<String, f64>) -> Result<Che
             }
             Trigger::Function { hook } => {
                 if hook.is_empty() {
-                    return Err(GuardrailError::check(&g.name, "FUNCTION hook name is empty"));
+                    return Err(GuardrailError::check(
+                        &g.name,
+                        "FUNCTION hook name is empty",
+                    ));
                 }
                 hooks.push(hook.clone());
             }
@@ -162,7 +165,12 @@ fn check_guardrail(g: &Guardrail, bindings: &HashMap<String, f64>) -> Result<Che
 
     let mut actions = Vec::with_capacity(g.actions.len());
     for action in &g.actions {
-        actions.push(check_action(action, bindings, &g.name, has_function_trigger)?);
+        actions.push(check_action(
+            action,
+            bindings,
+            &g.name,
+            has_function_trigger,
+        )?);
     }
 
     Ok(CheckedGuardrail {
@@ -247,11 +255,7 @@ fn to_nanos(v: f64) -> Nanos {
 
 /// Replaces [`Expr::Symbol`] nodes with bound constants; unbound symbols are
 /// an error pointing the developer at `LOAD`.
-fn substitute_symbols(
-    e: &Expr,
-    bindings: &HashMap<String, f64>,
-    guardrail: &str,
-) -> Result<Expr> {
+fn substitute_symbols(e: &Expr, bindings: &HashMap<String, f64>, guardrail: &str) -> Result<Expr> {
     Ok(match e {
         Expr::Symbol(name) => match bindings.get(name) {
             Some(&v) => Expr::Number(v),
@@ -282,7 +286,9 @@ fn substitute_symbols(
             Box::new(substitute_symbols(lo, bindings, guardrail)?),
             Box::new(substitute_symbols(hi, bindings, guardrail)?),
         ),
-        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(substitute_symbols(x, bindings, guardrail)?)),
+        Expr::Unary(op, x) => {
+            Expr::Unary(*op, Box::new(substitute_symbols(x, bindings, guardrail)?))
+        }
         Expr::Binary(op, l, r) => Expr::Binary(
             *op,
             Box::new(substitute_symbols(l, bindings, guardrail)?),
@@ -622,8 +628,14 @@ mod tests {
     #[test]
     fn const_fold_arithmetic() {
         use crate::spec::ast::Expr as E;
-        assert_eq!(const_fold(&E::bin(BinOp::Div, E::Number(1.0), E::Number(0.0))), Some(0.0));
-        assert_eq!(const_fold(&E::bin(BinOp::Mod, E::Number(7.0), E::Number(4.0))), Some(3.0));
+        assert_eq!(
+            const_fold(&E::bin(BinOp::Div, E::Number(1.0), E::Number(0.0))),
+            Some(0.0)
+        );
+        assert_eq!(
+            const_fold(&E::bin(BinOp::Mod, E::Number(7.0), E::Number(4.0))),
+            Some(3.0)
+        );
         assert_eq!(const_fold(&E::Load("x".into())), None);
     }
 

@@ -122,7 +122,9 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 '"' => self.string(line, col)?,
-                c if c.is_ascii_digit() || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) => {
+                c if c.is_ascii_digit()
+                    || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) =>
+                {
                     self.number(line, col)?
                 }
                 c if c.is_alphabetic() || c == '_' => self.ident(),
@@ -193,7 +195,11 @@ impl<'a> Lexer<'a> {
                 },
                 Some(c) => s.push(c),
                 None => {
-                    return Err(GuardrailError::lex(line, col, "unterminated string literal"))
+                    return Err(GuardrailError::lex(
+                        line,
+                        col,
+                        "unterminated string literal",
+                    ))
                 }
             }
         }
@@ -224,8 +230,9 @@ impl<'a> Lexer<'a> {
                 }
                 text.push('e');
                 self.bump();
-                if matches!(self.peek(), Some('+') | Some('-')) {
-                    text.push(self.bump().expect("sign present"));
+                if let Some(sign @ ('+' | '-')) = self.peek() {
+                    text.push(sign);
+                    self.bump();
                 }
             } else {
                 break;
@@ -355,7 +362,11 @@ mod tests {
         let k = kinds("1 // trailing comment\n2");
         assert_eq!(
             k,
-            vec![TokenKind::Number(1.0), TokenKind::Number(2.0), TokenKind::Eof]
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -416,6 +427,9 @@ mod tests {
 
     #[test]
     fn true_false_keywords() {
-        assert_eq!(kinds("true false"), vec![TokenKind::True, TokenKind::False, TokenKind::Eof]);
+        assert_eq!(
+            kinds("true false"),
+            vec![TokenKind::True, TokenKind::False, TokenKind::Eof]
+        );
     }
 }

@@ -50,9 +50,7 @@ pub mod parser;
 pub mod pretty;
 pub mod token;
 
-pub use ast::{
-    ActionStmt, BinOp, Expr, Guardrail, Spec, Trigger, UnOp,
-};
+pub use ast::{ActionStmt, BinOp, Expr, Guardrail, Spec, Trigger, UnOp};
 pub use check::{check_spec, CheckedSpec};
 pub use lexer::lex;
 pub use parser::parse;

@@ -515,8 +515,10 @@ guardrail low-false-submit {
         assert_eq!(g.rules.len(), 2);
         assert_eq!(g.actions.len(), 5);
         assert!(matches!(&g.triggers[1], Trigger::Function { hook } if hook == "io_submit"));
-        assert!(matches!(&g.actions[1], ActionStmt::Replace { slot, variant }
-            if slot == "io_policy" && variant == "heuristic"));
+        assert!(
+            matches!(&g.actions[1], ActionStmt::Replace { slot, variant }
+            if slot == "io_policy" && variant == "heuristic")
+        );
     }
 
     #[test]
@@ -544,9 +546,18 @@ guardrail low-false-submit {
 
     #[test]
     fn unknown_constructs_rejected() {
-        assert!(parse("guardrail g { trigger: { CRON(0) }, rule: { true }, action: { REPORT(m) } }").is_err());
-        assert!(parse("guardrail g { trigger: { TIMER(0,1) }, rule: { FOO(x) }, action: { REPORT(m) } }").is_err());
-        assert!(parse("guardrail g { trigger: { TIMER(0,1) }, rule: { true }, action: { EXPLODE(m) } }").is_err());
+        assert!(parse(
+            "guardrail g { trigger: { CRON(0) }, rule: { true }, action: { REPORT(m) } }"
+        )
+        .is_err());
+        assert!(parse(
+            "guardrail g { trigger: { TIMER(0,1) }, rule: { FOO(x) }, action: { REPORT(m) } }"
+        )
+        .is_err());
+        assert!(parse(
+            "guardrail g { trigger: { TIMER(0,1) }, rule: { true }, action: { EXPLODE(m) } }"
+        )
+        .is_err());
         assert!(parse("guardrail g { wibble: { } }").is_err());
     }
 
@@ -560,8 +571,10 @@ guardrail low-false-submit {
             "guardrail g { trigger: { FUNCTION(f) }, rule: { ARG(2) < 1 }, action: { REPORT(m) } }",
         )
         .unwrap();
-        assert_eq!(spec.guardrails[0].rules[0],
-            Expr::bin(BinOp::Lt, Expr::Arg(2), Expr::Number(1.0)));
+        assert_eq!(
+            spec.guardrails[0].rules[0],
+            Expr::bin(BinOp::Lt, Expr::Arg(2), Expr::Number(1.0))
+        );
     }
 
     #[test]

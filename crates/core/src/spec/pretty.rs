@@ -81,11 +81,19 @@ fn print_action(a: &ActionStmt) -> String {
             s
         }
         ActionStmt::Replace { slot, variant } => {
-            format!("REPLACE({}, {})", ident_or_quoted(slot), ident_or_quoted(variant))
+            format!(
+                "REPLACE({}, {})",
+                ident_or_quoted(slot),
+                ident_or_quoted(variant)
+            )
         }
         ActionStmt::Retrain { model } => format!("RETRAIN({})", ident_or_quoted(model)),
         ActionStmt::Deprioritize { target, steps } => match steps {
-            Some(e) => format!("DEPRIORITIZE({}, {})", ident_or_quoted(target), print_expr(e)),
+            Some(e) => format!(
+                "DEPRIORITIZE({}, {})",
+                ident_or_quoted(target),
+                print_expr(e)
+            ),
             None => format!("DEPRIORITIZE({})", ident_or_quoted(target)),
         },
         ActionStmt::Save { key, value } => {

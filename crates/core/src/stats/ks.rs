@@ -26,8 +26,8 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
@@ -99,7 +99,9 @@ mod tests {
     fn detects_scale_shift() {
         // Same mean, different spread.
         let narrow: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
-        let wide: Vec<f64> = (0..200).map(|i| ((i % 10) as f64 - 4.5) * 10.0 + 4.5).collect();
+        let wide: Vec<f64> = (0..200)
+            .map(|i| ((i % 10) as f64 - 4.5) * 10.0 + 4.5)
+            .collect();
         let d = ks_statistic(&narrow, &wide);
         assert!(d > 0.3, "d = {d}");
     }

@@ -18,13 +18,17 @@
 /// assert!(psi(&reference, &shifted, 10) > 0.25);
 /// ```
 pub fn psi(reference: &[f64], live: &[f64], buckets: usize) -> f64 {
-    let mut reference: Vec<f64> = reference.iter().copied().filter(|x| x.is_finite()).collect();
+    let mut reference: Vec<f64> = reference
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .collect();
     let live: Vec<f64> = live.iter().copied().filter(|x| x.is_finite()).collect();
     if reference.is_empty() || live.is_empty() {
         return 0.0;
     }
     let buckets = buckets.clamp(2, 64);
-    reference.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    reference.sort_by(f64::total_cmp);
 
     // Bucket edges at reference quantiles (equal-population buckets).
     let mut edges = Vec::with_capacity(buckets - 1);

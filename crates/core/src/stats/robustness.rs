@@ -67,11 +67,7 @@ impl SensitivityProbe {
         for _ in 0..self.probes {
             for (p, &x) in perturbed.iter_mut().zip(input) {
                 let u = self.rng.gen_range(-self.noise..=self.noise);
-                *p = if x.abs() > 1e-12 {
-                    x * (1.0 + u)
-                } else {
-                    u
-                };
+                *p = if x.abs() > 1e-12 { x * (1.0 + u) } else { u };
             }
             outputs.push(model(&perturbed));
         }
@@ -100,7 +96,11 @@ impl SensitivityProbe {
         let s = self.probe(input, model);
         store.save(&format!("{}.sensitivity", self.prefix), s.max_deviation);
         store.save(&format!("{}.gain", self.prefix), s.gain(self.noise));
-        store.record(&format!("{}.gain_series", self.prefix), now, s.gain(self.noise));
+        store.record(
+            &format!("{}.gain_series", self.prefix),
+            now,
+            s.gain(self.noise),
+        );
         s
     }
 

@@ -10,14 +10,18 @@
 //! The store is sharded and internally locked so that subsystem simulations
 //! (writers) and monitors (readers) can share one `Arc<FeatureStore>`.
 
+pub mod durable;
 pub mod ewma;
 pub mod histogram;
+pub mod snapshot;
+pub mod wal;
 pub mod window;
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 use simkernel::Nanos;
@@ -26,6 +30,19 @@ use crate::spec::ast::AggKind;
 use ewma::Ewma;
 use histogram::Histogram;
 use window::WindowSeries;
+
+/// Write-ahead journal hook: invoked for every *accepted* scalar write,
+/// under the key's shard lock and before the write is applied, so the
+/// journal order matches the apply order and a crash after the journal
+/// append but before the apply loses nothing (replay re-applies it).
+///
+/// Frames record post-state (`key = value`), never deltas, so replay is
+/// idempotent. The default store has no journal; the durable store
+/// ([`durable::DurableStore`]) attaches its WAL appender here.
+pub trait SaveJournal: Send + Sync + std::fmt::Debug {
+    /// Records that `key` is about to hold `value`.
+    fn record_save(&self, key: &str, value: f64);
+}
 
 /// Number of lock shards; power of two, sized for low contention at the
 /// handful-of-writer-threads scale of an OS's instrumented subsystems.
@@ -74,6 +91,8 @@ pub struct FeatureStore {
     quarantine: AtomicBool,
     poisoned: RwLock<HashMap<String, u64>>,
     poisoned_total: AtomicU64,
+    /// Optional write-ahead journal, called for accepted scalar writes.
+    journal: RwLock<Option<Arc<dyn SaveJournal>>>,
 }
 
 impl Default for FeatureStore {
@@ -100,7 +119,14 @@ impl FeatureStore {
             quarantine: AtomicBool::new(true),
             poisoned: RwLock::new(HashMap::new()),
             poisoned_total: AtomicU64::new(0),
+            journal: RwLock::new(None),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) the write-ahead journal hook.
+    /// See [`SaveJournal`] for the ordering contract.
+    pub fn set_journal(&self, journal: Option<Arc<dyn SaveJournal>>) {
+        *self.journal.write() = journal;
     }
 
     fn shard(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
@@ -121,9 +147,11 @@ impl FeatureStore {
             self.poisoned_total.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        self.shard(key)
-            .write()
-            .insert(key.to_string(), Entry::Scalar(value));
+        let mut guard = self.shard(key).write();
+        if let Some(journal) = self.journal.read().as_ref() {
+            journal.record_save(key, value);
+        }
+        guard.insert(key.to_string(), Entry::Scalar(value));
     }
 
     /// Enables or disables the non-finite `SAVE` quarantine (on by default;
@@ -169,21 +197,20 @@ impl FeatureStore {
     /// the new value.
     pub fn incr(&self, key: &str, by: f64) -> f64 {
         let mut guard = self.shard(key).write();
-        let entry = guard
-            .entry(key.to_string())
-            .or_insert(Entry::Scalar(0.0));
-        match entry {
-            Entry::Scalar(v) => {
-                *v += by;
-                *v
-            }
-            _ => {
-                // Counting into a structured entry replaces it; mixed usage
-                // of one key is a spec bug, and scalar-wins keeps it visible.
-                *entry = Entry::Scalar(by);
-                by
-            }
+        let entry = guard.entry(key.to_string()).or_insert(Entry::Scalar(0.0));
+        // Counting into a structured entry replaces it; mixed usage of one
+        // key is a spec bug, and scalar-wins keeps it visible.
+        let new = match entry {
+            Entry::Scalar(v) => *v + by,
+            _ => by,
+        };
+        // Journal the post-state before applying (write-ahead ordering);
+        // post-state frames keep replay idempotent even for counters.
+        if let Some(journal) = self.journal.read().as_ref() {
+            journal.record_save(key, new);
         }
+        *entry = Entry::Scalar(new);
+        new
     }
 
     /// `RECORD(key, value)`: appends a timestamped sample to a windowed
@@ -299,6 +326,27 @@ impl FeatureStore {
         self.len() == 0
     }
 
+    /// Returns the scalar entries, sorted by key: the durable state a
+    /// snapshot folds in (series/EWMA/histogram entries are derived,
+    /// process-lifetime telemetry and are not persisted).
+    pub fn scalars(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .filter_map(|(k, e)| match e {
+                        Entry::Scalar(v) => Some((k.clone(), *v)),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Returns a sorted snapshot of all keys (diagnostics / REPORT dumps).
     pub fn keys(&self) -> Vec<String> {
         let mut keys: Vec<String> = self
@@ -351,7 +399,12 @@ mod tests {
         store.record("lat", Nanos::from_secs(2), 30.0);
         assert_eq!(store.load("lat"), Some(30.0), "LOAD reads the last sample");
         assert_eq!(
-            store.aggregate(AggKind::Sum, "lat", Nanos::from_secs(10), Nanos::from_secs(2)),
+            store.aggregate(
+                AggKind::Sum,
+                "lat",
+                Nanos::from_secs(10),
+                Nanos::from_secs(2)
+            ),
             40.0
         );
         assert_eq!(
@@ -365,7 +418,12 @@ mod tests {
             0.0
         );
         assert_eq!(
-            store.aggregate(AggKind::Avg, "nope", Nanos::from_secs(1), Nanos::from_secs(1)),
+            store.aggregate(
+                AggKind::Avg,
+                "nope",
+                Nanos::from_secs(1),
+                Nanos::from_secs(1)
+            ),
             0.0
         );
     }
@@ -436,7 +494,10 @@ mod tests {
         store.set_quarantine(false);
         assert!(!store.quarantine_enabled());
         store.save("rate", f64::NAN);
-        assert!(store.load("rate").unwrap().is_nan(), "unhardened: NaN lands");
+        assert!(
+            store.load("rate").unwrap().is_nan(),
+            "unhardened: NaN lands"
+        );
         assert_eq!(store.poisoned_total(), 0);
         store.set_quarantine(true);
         store.save("rate", f64::NAN);

@@ -1,0 +1,182 @@
+//! Snapshot codec for the durable feature store.
+//!
+//! A snapshot is the compaction target for the write-ahead log: the full
+//! scalar state of the [`FeatureStore`](super::FeatureStore) at a known WAL
+//! sequence number, encoded as one checksummed blob. On recovery the
+//! snapshot is applied first, then WAL frames with `seq > snapshot.seq` are
+//! replayed on top — so a crash *between* writing the snapshot and
+//! truncating the WAL is harmless (the overlapping frames replay to the
+//! values the snapshot already holds).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [magic u32 "GRSN"][version u16][seq u64][count u32]
+//! count * ([key_len u32][key bytes][value f64 bits])
+//! [crc32(everything after magic) u32]
+//! ```
+
+use crate::error::{GuardrailError, Result};
+
+use super::wal::crc32;
+
+/// Snapshot magic bytes.
+pub const SNAPSHOT_MAGIC: u32 = 0x4753_4E31; // "GSN1"
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+/// Cap on the entry count a header may claim (corruption guard).
+const MAX_ENTRIES: u32 = 1 << 24;
+
+/// A decoded snapshot: scalar state as of WAL sequence `seq`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// The WAL sequence number the snapshot folds in (frames with
+    /// `seq <= self.seq` are already reflected here).
+    pub seq: u64,
+    /// Scalar entries, sorted by key for deterministic encoding.
+    pub entries: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot at sequence 0 (the state of a fresh store).
+    pub fn empty() -> Self {
+        Snapshot {
+            seq: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Encodes the snapshot as a checksummed blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        body.extend_from_slice(&self.seq.to_le_bytes());
+        body.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (key, value) in &self.entries {
+            body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            body.extend_from_slice(key.as_bytes());
+            body.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Decodes a snapshot blob, validating magic, version, structure, and
+    /// checksum. An empty input decodes to [`Snapshot::empty`] (no snapshot
+    /// has been taken yet); anything else that fails validation is an error
+    /// — a half-written or bit-rotted snapshot must be *detected*, never
+    /// silently half-applied.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.is_empty() {
+            return Ok(Snapshot::empty());
+        }
+        let corrupt = |why: &str| GuardrailError::Persist(format!("snapshot corrupt: {why}"));
+        if bytes.len() < 4 + 2 + 8 + 4 + 4 {
+            return Err(corrupt("truncated header"));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sized slice"));
+        if magic != SNAPSHOT_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let body = &bytes[4..bytes.len() - 4];
+        let stored_crc =
+            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("sized slice"));
+        if stored_crc != crc32(body) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let version = u16::from_le_bytes(body[0..2].try_into().expect("sized slice"));
+        if version != SNAPSHOT_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let seq = u64::from_le_bytes(body[2..10].try_into().expect("sized slice"));
+        let count = u32::from_le_bytes(body[10..14].try_into().expect("sized slice"));
+        if count > MAX_ENTRIES {
+            return Err(corrupt("entry count out of range"));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        let mut at = 14usize;
+        for _ in 0..count {
+            let key_len = body
+                .get(at..at + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("sized slice")) as usize)
+                .ok_or_else(|| corrupt("truncated entry"))?;
+            let key_bytes = body
+                .get(at + 4..at + 4 + key_len)
+                .ok_or_else(|| corrupt("truncated key"))?;
+            let key = std::str::from_utf8(key_bytes)
+                .map_err(|_| corrupt("non-utf8 key"))?
+                .to_string();
+            let value_at = at + 4 + key_len;
+            let value = body
+                .get(value_at..value_at + 8)
+                .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().expect("sized slice"))))
+                .ok_or_else(|| corrupt("truncated value"))?;
+            entries.push((key, value));
+            at = value_at + 8;
+        }
+        if at != body.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Snapshot { seq, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            seq: 42,
+            entries: vec![
+                ("false_submit_rate".to_string(), 0.07),
+                ("ml_enabled".to_string(), 0.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let snap = sample();
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+        let empty = Snapshot::empty();
+        assert_eq!(Snapshot::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn empty_input_is_a_fresh_store() {
+        assert_eq!(Snapshot::decode(&[]).unwrap(), Snapshot::empty());
+    }
+
+    #[test]
+    fn any_bit_flip_is_detected() {
+        let encoded = sample().encode();
+        for i in 0..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                Snapshot::decode(&bad).is_err(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let encoded = sample().encode();
+        for cut in 1..encoded.len() {
+            assert!(
+                Snapshot::decode(&encoded[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+}

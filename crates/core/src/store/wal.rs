@@ -1,0 +1,333 @@
+//! Write-ahead log frames for the durable feature store.
+//!
+//! Every accepted `SAVE` (and counter update) appends one checksummed frame
+//! to an append-only byte log. On open, [`decode_stream`] replays the log:
+//! frames are validated with a CRC-32 and a length prefix, so a crash that
+//! tears the final frame mid-write is detected and the torn tail is
+//! discarded rather than misparsed. Replay is idempotent because frames
+//! record *post-state* (`key = value`, never `key += delta`) and carry
+//! monotonic sequence numbers that let a snapshot-aware reader skip frames
+//! already folded into a snapshot.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [magic u16][payload_len u32][payload][crc32(payload) u32]
+//! payload = [seq u64][value f64 bits][key_len u32][key bytes]
+//! ```
+
+use crate::error::{GuardrailError, Result};
+
+/// Frame magic: distinguishes a frame boundary from arbitrary garbage.
+pub const FRAME_MAGIC: u16 = 0x57A1;
+
+/// Hard cap on a frame payload, so a corrupt length prefix cannot make the
+/// reader attempt a multi-gigabyte allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// One logical WAL record: the post-state of a scalar write.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (1-based; 0 is reserved for "no records").
+    pub seq: u64,
+    /// The feature-store key written.
+    pub key: String,
+    /// The value the key held *after* the write (post-state, so replaying
+    /// a record twice is a no-op).
+    pub value: f64,
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected), computed bytewise.
+///
+/// A local implementation because the offline build has no `crc` crate; the
+/// polynomial matches the ubiquitous zlib/ethernet CRC so external tools can
+/// verify frames.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes one record as a framed, checksummed byte string.
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let key = record.key.as_bytes();
+    let mut payload = Vec::with_capacity(20 + key.len());
+    payload.extend_from_slice(&record.seq.to_le_bytes());
+    payload.extend_from_slice(&record.value.to_bits().to_le_bytes());
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key);
+    let mut frame = Vec::with_capacity(10 + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame
+}
+
+/// Why [`decode_stream`] stopped reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalStop {
+    /// The whole log decoded cleanly.
+    Clean,
+    /// The log ends mid-frame: the classic torn write from a crash during
+    /// an append. The valid prefix is kept; the tail is discarded.
+    TornTail {
+        /// Bytes of partial frame discarded.
+        bytes: usize,
+    },
+    /// A complete frame failed its checksum or structural validation:
+    /// bit rot or an overwrite, not a torn append. Nothing after it is
+    /// trusted.
+    CorruptFrame {
+        /// Byte offset of the bad frame.
+        offset: usize,
+    },
+}
+
+/// The result of decoding a WAL byte log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalDecode {
+    /// The valid records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Why decoding stopped.
+    pub stop: WalStop,
+    /// Bytes of valid log consumed (the safe truncation point for repair).
+    pub valid_len: usize,
+}
+
+fn read_u16(bytes: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_le_bytes(bytes.get(at..at + 2)?.try_into().ok()?))
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let seq = read_u64(payload, 0)?;
+    let value = f64::from_bits(read_u64(payload, 8)?);
+    let key_len = read_u32(payload, 16)? as usize;
+    let key_bytes = payload.get(20..20 + key_len)?;
+    if 20 + key_len != payload.len() {
+        return None;
+    }
+    let key = std::str::from_utf8(key_bytes).ok()?.to_string();
+    Some(WalRecord { seq, key, value })
+}
+
+/// Decodes a WAL byte log, stopping at the first torn or corrupt frame.
+///
+/// Never fails: a damaged log yields its valid prefix plus a [`WalStop`]
+/// describing the damage, which is exactly what crash recovery wants (the
+/// tail of a torn append is unrecoverable by construction).
+pub fn decode_stream(bytes: &[u8]) -> WalDecode {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let header_ok = (|| {
+            let magic = read_u16(bytes, at)?;
+            if magic != FRAME_MAGIC {
+                return None;
+            }
+            let len = read_u32(bytes, at + 2)?;
+            if len > MAX_PAYLOAD {
+                return None;
+            }
+            Some(len as usize)
+        })();
+        // A bad magic or absurd length in a *complete* header region is
+        // corruption; a header that runs off the end of the log is a torn
+        // append.
+        let payload_len = match header_ok {
+            Some(len) => len,
+            None => {
+                if at + 6 > bytes.len() {
+                    return WalDecode {
+                        records,
+                        stop: WalStop::TornTail {
+                            bytes: bytes.len() - at,
+                        },
+                        valid_len: at,
+                    };
+                }
+                return WalDecode {
+                    records,
+                    stop: WalStop::CorruptFrame { offset: at },
+                    valid_len: at,
+                };
+            }
+        };
+        let frame_end = at + 6 + payload_len + 4;
+        if frame_end > bytes.len() {
+            return WalDecode {
+                records,
+                stop: WalStop::TornTail {
+                    bytes: bytes.len() - at,
+                },
+                valid_len: at,
+            };
+        }
+        let payload = &bytes[at + 6..at + 6 + payload_len];
+        let stored_crc = read_u32(bytes, at + 6 + payload_len).unwrap_or(0);
+        if stored_crc != crc32(payload) {
+            return WalDecode {
+                records,
+                stop: WalStop::CorruptFrame { offset: at },
+                valid_len: at,
+            };
+        }
+        match decode_payload(payload) {
+            Some(record) => records.push(record),
+            None => {
+                return WalDecode {
+                    records,
+                    stop: WalStop::CorruptFrame { offset: at },
+                    valid_len: at,
+                }
+            }
+        }
+        at = frame_end;
+    }
+    WalDecode {
+        records,
+        stop: WalStop::Clean,
+        valid_len: at,
+    }
+}
+
+/// Decodes a WAL log, returning an error on any damage (for callers that
+/// want strict validation rather than best-effort recovery).
+pub fn decode_strict(bytes: &[u8]) -> Result<Vec<WalRecord>> {
+    let decoded = decode_stream(bytes);
+    match decoded.stop {
+        WalStop::Clean => Ok(decoded.records),
+        WalStop::TornTail { bytes } => Err(GuardrailError::Persist(format!(
+            "WAL ends in a torn frame ({bytes} trailing bytes)"
+        ))),
+        WalStop::CorruptFrame { offset } => Err(GuardrailError::Persist(format!(
+            "WAL frame at byte {offset} failed validation"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, key: &str, value: f64) -> WalRecord {
+        WalRecord {
+            seq,
+            key: key.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let records = vec![
+            rec(1, "ml_enabled", 1.0),
+            rec(2, "false_submit_rate", 0.073),
+            rec(3, "", -0.0),
+            rec(4, "a_long.key.with/separators", f64::MAX),
+        ];
+        let mut log = Vec::new();
+        for r in &records {
+            log.extend_from_slice(&encode_frame(r));
+        }
+        let decoded = decode_stream(&log);
+        assert_eq!(decoded.stop, WalStop::Clean);
+        assert_eq!(decoded.records, records);
+        assert_eq!(decoded.valid_len, log.len());
+        assert_eq!(decode_strict(&log).unwrap(), records);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_survives() {
+        let mut log = encode_frame(&rec(1, "a", 1.0));
+        let full = encode_frame(&rec(2, "b", 2.0));
+        let keep = log.len();
+        log.extend_from_slice(&full[..full.len() - 3]); // torn mid-append
+        let decoded = decode_stream(&log);
+        assert_eq!(decoded.records, vec![rec(1, "a", 1.0)]);
+        assert_eq!(
+            decoded.stop,
+            WalStop::TornTail {
+                bytes: full.len() - 3
+            }
+        );
+        assert_eq!(decoded.valid_len, keep, "safe truncation point");
+        assert!(decode_strict(&log).is_err());
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_clean_prefix() {
+        let records = vec![rec(1, "x", 1.0), rec(2, "y", 2.0), rec(3, "z", 3.0)];
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            log.extend_from_slice(&encode_frame(r));
+            boundaries.push(log.len());
+        }
+        for cut in 0..=log.len() {
+            let decoded = decode_stream(&log[..cut]);
+            // The record count equals the number of whole frames below the cut.
+            let whole = boundaries.iter().filter(|&&b| b <= cut && b > 0).count();
+            assert_eq!(decoded.records.len(), whole, "cut at {cut}");
+            assert_eq!(decoded.records[..], records[..whole]);
+            if boundaries.contains(&cut) {
+                assert_eq!(decoded.stop, WalStop::Clean);
+            } else {
+                assert!(matches!(decoded.stop, WalStop::TornTail { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_a_corrupt_frame_not_a_torn_tail() {
+        let mut log = encode_frame(&rec(1, "a", 1.0));
+        log.extend_from_slice(&encode_frame(&rec(2, "b", 2.0)));
+        let first_len = encode_frame(&rec(1, "a", 1.0)).len();
+        log[first_len + 8] ^= 0x40; // flip a payload bit in frame 2
+        let decoded = decode_stream(&log);
+        assert_eq!(decoded.records.len(), 1);
+        assert_eq!(decoded.stop, WalStop::CorruptFrame { offset: first_len });
+    }
+
+    #[test]
+    fn absurd_length_prefix_does_not_allocate() {
+        let mut log = FRAME_MAGIC.to_le_bytes().to_vec();
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&[0u8; 64]);
+        let decoded = decode_stream(&log);
+        assert!(decoded.records.is_empty());
+        assert_eq!(decoded.stop, WalStop::CorruptFrame { offset: 0 });
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_bit_exact() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let log = encode_frame(&rec(9, "poison", v));
+            let decoded = decode_stream(&log);
+            assert_eq!(decoded.records.len(), 1);
+            let got = decoded.records[0].value;
+            assert_eq!(got.to_bits(), v.to_bits(), "replay must see the poison");
+        }
+    }
+}

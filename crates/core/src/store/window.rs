@@ -159,7 +159,7 @@ impl WindowSeries {
         if vals.is_empty() {
             return 0.0;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        vals.sort_by(f64::total_cmp);
         let q = q.clamp(0.0, 1.0);
         let pos = q * (vals.len() - 1) as f64;
         let lo = pos.floor() as usize;

@@ -104,7 +104,9 @@ pub struct Vm {
 impl Vm {
     /// Creates a VM with an empty stack.
     pub fn new() -> Self {
-        Vm { stack: Vec::with_capacity(16) }
+        Vm {
+            stack: Vec::with_capacity(16),
+        }
     }
 
     /// Executes a *verified* program to completion.
@@ -295,8 +297,14 @@ mod tests {
 
     #[test]
     fn arithmetic_is_total() {
-        assert_eq!(eval(&Expr::bin(BinOp::Div, Expr::Load("x".into()), num(0.0))), 0.0);
-        assert_eq!(eval(&Expr::bin(BinOp::Mod, Expr::Load("x".into()), num(0.0))), 0.0);
+        assert_eq!(
+            eval(&Expr::bin(BinOp::Div, Expr::Load("x".into()), num(0.0))),
+            0.0
+        );
+        assert_eq!(
+            eval(&Expr::bin(BinOp::Mod, Expr::Load("x".into()), num(0.0))),
+            0.0
+        );
     }
 
     #[test]
@@ -381,8 +389,18 @@ mod tests {
 
     #[test]
     fn unary_and_clamp() {
-        assert_eq!(eval(&Expr::Abs(Box::new(Expr::bin(BinOp::Sub, Expr::Load("z".into()), num(3.0))))), 3.0);
-        assert_eq!(eval(&Expr::Unary(UnOp::Neg, Box::new(Expr::Load("z".into())))), -0.0);
+        assert_eq!(
+            eval(&Expr::Abs(Box::new(Expr::bin(
+                BinOp::Sub,
+                Expr::Load("z".into()),
+                num(3.0)
+            )))),
+            3.0
+        );
+        assert_eq!(
+            eval(&Expr::Unary(UnOp::Neg, Box::new(Expr::Load("z".into())))),
+            -0.0
+        );
         let e = Expr::Clamp(
             Box::new(Expr::Load("z".into())),
             Box::new(num(2.0)),

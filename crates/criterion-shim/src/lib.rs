@@ -73,7 +73,10 @@ fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         iters: 0,
     };
     f(&mut b);
-    println!("bench  {label:<48} {:>12.1} ns/iter  ({} iters)", b.mean_ns, b.iters);
+    println!(
+        "bench  {label:<48} {:>12.1} ns/iter  ({} iters)",
+        b.mean_ns, b.iters
+    );
 }
 
 /// The top-level harness, mirroring `criterion::Criterion`.
@@ -104,7 +107,12 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Runs one parameterised benchmark within the group.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -153,9 +161,7 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         for n in [1u64, 2] {
-            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-                b.iter(|| n * 2)
-            });
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| b.iter(|| n * 2));
         }
         group.finish();
     }

@@ -35,7 +35,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Sends `value`, failing only if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 

@@ -144,7 +144,10 @@ struct LearnedEstimator {
 
 impl LearnedEstimator {
     fn new() -> Self {
-        LearnedEstimator { w: 0.0, trained: false }
+        LearnedEstimator {
+            w: 0.0,
+            trained: false,
+        }
     }
 
     /// One least-mean-squares step toward observed costs. Samples are
@@ -218,14 +221,15 @@ pub fn run_huge_sim(config: HugeSimConfig) -> HugeReport {
             ThpPolicy::Always => use_learned, // Fallback still means base-only.
             ThpPolicy::Never => false,
             ThpPolicy::Learned => {
-                use_learned && estimator.trained
+                use_learned
+                    && estimator.trained
                     && estimator.predict_cost(memory.free_fraction) < BASE_REGION_COST
             }
         };
         // Untrained learned policy behaves like Always while it gathers
         // observations (optimistic bootstrap, like THP's default).
-        let want_huge = want_huge
-            || (config.policy == ThpPolicy::Learned && use_learned && !estimator.trained);
+        let want_huge =
+            want_huge || (config.policy == ThpPolicy::Learned && use_learned && !estimator.trained);
 
         let latency = if want_huge {
             let (cost, stalled) = memory.huge_alloc_cost();
@@ -257,7 +261,12 @@ pub fn run_huge_sim(config: HugeSimConfig) -> HugeReport {
 
     post_latencies.sort();
     let post_p99 = post_latencies
-        .get(post_latencies.len().saturating_sub(1).min(post_latencies.len() * 99 / 100))
+        .get(
+            post_latencies
+                .len()
+                .saturating_sub(1)
+                .min(post_latencies.len() * 99 / 100),
+        )
         .copied()
         .unwrap_or(Nanos::ZERO);
     HugeReport {
@@ -314,7 +323,11 @@ mod tests {
     fn learned_estimator_is_fooled_by_the_free_memory_proxy() {
         let learned = run(ThpPolicy::Learned, false);
         // Pre-shift the estimator behaves (cheap huge pages chosen).
-        assert!(learned.pre_mean < Nanos::from_millis(2), "pre {}", learned.pre_mean);
+        assert!(
+            learned.pre_mean < Nanos::from_millis(2),
+            "pre {}",
+            learned.pre_mean
+        );
         // Post-shift it keeps allocating huge pages into compaction stalls:
         // the §2 property (p99 <= 50ms) is violated.
         assert!(

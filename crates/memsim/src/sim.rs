@@ -166,15 +166,16 @@ pub fn run_tiering_sim(config: TieringSimConfig) -> TieringReport {
         now += ACCESS_PERIOD;
         let access = workload.next_access();
         // Maintain per-page statistics (decayed count, recency, writes).
-        let entry = stats.entry(access.page).or_insert((PageStats::default(), tick, 0.0));
+        let entry = stats
+            .entry(access.page)
+            .or_insert((PageStats::default(), tick, 0.0));
         let age = tick - entry.1;
         entry.0.recent_count = entry.0.recent_count * 0.5f64.powf(age as f64 / 4096.0) + 1.0;
         entry.0.recency = age as f64;
         if access.kind == AccessKind::Write {
             entry.2 += 1.0;
         }
-        entry.0.write_fraction =
-            entry.2 / (entry.2 + 1.0).max(entry.0.recent_count.max(1.0));
+        entry.0.write_fraction = entry.2 / (entry.2 + 1.0).max(entry.0.recent_count.max(1.0));
         entry.1 = tick;
         let page_stats = entry.0;
 
@@ -317,7 +318,11 @@ mod tests {
             heuristic.phase2_hit_rate
         );
         // And the unguarded learned policy sprays out-of-bounds placements.
-        assert!(learned.invalid_allocs > 100, "{} invalid", learned.invalid_allocs);
+        assert!(
+            learned.invalid_allocs > 100,
+            "{} invalid",
+            learned.invalid_allocs
+        );
         assert_eq!(learned.violations, 0);
     }
 

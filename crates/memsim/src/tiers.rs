@@ -179,7 +179,13 @@ mod tests {
     fn out_of_bounds_rejected_and_counted() {
         let mut mem = TieredMemory::new(2);
         let err = mem.place(PageId(1), 2).unwrap_err();
-        assert_eq!(err, PlaceError::OutOfBounds { frame: 2, capacity: 2 });
+        assert_eq!(
+            err,
+            PlaceError::OutOfBounds {
+                frame: 2,
+                capacity: 2
+            }
+        );
         assert_eq!(mem.rejected(), 1);
         assert!(!mem.is_fast(PageId(1)));
     }

@@ -142,7 +142,10 @@ impl Mlp {
     ///
     /// Panics if `config.layers` has fewer than two entries or a zero width.
     pub fn new(config: MlpConfig) -> Self {
-        assert!(config.layers.len() >= 2, "need at least input and output layers");
+        assert!(
+            config.layers.len() >= 2,
+            "need at least input and output layers"
+        );
         assert!(
             config.layers.iter().all(|&w| w > 0),
             "layer widths must be positive"
@@ -377,7 +380,10 @@ mod tests {
         let cfg = MlpConfig::linnos(4, 42);
         let a = Mlp::new(cfg.clone());
         let b = Mlp::new(cfg);
-        assert_eq!(a.predict_one(&[1.0, 2.0, 3.0, 4.0]), b.predict_one(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(
+            a.predict_one(&[1.0, 2.0, 3.0, 4.0]),
+            b.predict_one(&[1.0, 2.0, 3.0, 4.0])
+        );
     }
 
     #[test]
@@ -421,7 +427,10 @@ mod tests {
         assert!(net.predict_one(&[0.0, 1.0])[0].is_infinite());
         net.set_output_corruption(Some(OutputCorruption::OutOfRange));
         let oor = net.predict_one(&[0.0, 1.0])[0];
-        assert!(oor.is_finite() && oor > 1.0, "out of a sigmoid's range: {oor}");
+        assert!(
+            oor.is_finite() && oor > 1.0,
+            "out of a sigmoid's range: {oor}"
+        );
 
         // Training runs the clean forward pass: loss stays finite, and the
         // corruption survives a RETRAIN-style reinitialization.
@@ -433,7 +442,10 @@ mod tests {
 
         net.set_output_corruption(None);
         let healthy = net.predict_one(&[0.0, 1.0])[0];
-        assert!(healthy > 0.0 && healthy < 1.0, "clean sigmoid output: {healthy}");
+        assert!(
+            healthy > 0.0 && healthy < 1.0,
+            "clean sigmoid output: {healthy}"
+        );
     }
 
     #[test]

@@ -106,8 +106,7 @@ impl QTable {
             return;
         }
         self.visits[s] += 1;
-        let best_next = self.q
-            [s_next * self.actions..(s_next + 1) * self.actions]
+        let best_next = self.q[s_next * self.actions..(s_next + 1) * self.actions]
             .iter()
             .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
         let target = reward + self.gamma * best_next;
@@ -168,7 +167,11 @@ mod tests {
             let mut s = 4;
             for _ in 0..8 {
                 let a = q.select(s);
-                let s2 = if a == 0 { s.saturating_sub(1) } else { (s + 1).min(4) };
+                let s2 = if a == 0 {
+                    s.saturating_sub(1)
+                } else {
+                    (s + 1).min(4)
+                };
                 let r = if s2 == 0 { 1.0 } else { 0.0 };
                 q.update(s, a, r, s2);
                 s = s2;

@@ -72,7 +72,9 @@ impl OnlineScaler {
         if self.count < 2 {
             return 1.0;
         }
-        (self.m2[feature] / (self.count - 1) as f64).sqrt().max(1e-9)
+        (self.m2[feature] / (self.count - 1) as f64)
+            .sqrt()
+            .max(1e-9)
     }
 
     /// Standardizes `x` to z-scores against the running statistics.

@@ -154,8 +154,7 @@ impl Matrix {
             let lrow = self.row(i);
             for j in 0..rhs.rows {
                 let rrow = rhs.row(j);
-                out.data[i * rhs.rows + j] =
-                    lrow.iter().zip(rrow).map(|(a, b)| a * b).sum();
+                out.data[i * rhs.rows + j] = lrow.iter().zip(rrow).map(|(a, b)| a * b).sum();
             }
         }
         out
@@ -174,7 +173,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn hadamard_inplace(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a *= b;
         }
@@ -182,7 +185,11 @@ impl Matrix {
 
     /// Adds `rhs` scaled by `alpha` in place (`self += alpha * rhs`).
     pub fn axpy_inplace(&mut self, alpha: f64, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += alpha * b;
         }

@@ -11,14 +11,20 @@ fn main() {
     let mut cc = LearnedCc::new(0.2, 7);
     let mut outcome = RoundOutcome::initial(&config);
     for round in 0..6000 {
-        if round % 200 == 0 { cc.reset_window(); }
+        if round % 200 == 0 {
+            cc.reset_window();
+        }
         let w = cc.next_window(&outcome);
         outcome = link.round(w);
     }
     cc.freeze();
     println!("train mean util {:.3}", link.mean_utilization());
     for s in 0..30 {
-        println!("state {s:2}: visits {:6} greedy {}", cc.state_visits(s), cc.greedy_multiplier(s));
+        println!(
+            "state {s:2}: visits {:6} greedy {}",
+            cc.state_visits(s),
+            cc.greedy_multiplier(s)
+        );
     }
     // Greedy eval.
     let mut link2 = Link::new(config, 99);
@@ -33,7 +39,9 @@ fn main() {
     }
     println!("eval windows: {windows:?}");
     for st in [2usize, 14, 27] {
-        let row: Vec<String> = (0..5).map(|a| format!("{:.3}", cc.q_value(st, a))).collect();
+        let row: Vec<String> = (0..5)
+            .map(|a| format!("{:.3}", cc.q_value(st, a)))
+            .collect();
         println!("Q[state {st}] = {row:?}");
     }
 }

@@ -113,7 +113,11 @@ mod tests {
     #[test]
     fn aimd_reaches_high_utilization() {
         let (_, link) = drive(Aimd::new(), 500);
-        assert!(link.mean_utilization() > 0.85, "{}", link.mean_utilization());
+        assert!(
+            link.mean_utilization() > 0.85,
+            "{}",
+            link.mean_utilization()
+        );
     }
 
     #[test]

@@ -108,7 +108,8 @@ impl LearnedCc {
 
     /// The learned Q-value for `(state, action)` (diagnostics).
     pub fn q_value(&self, state: usize, action: usize) -> f64 {
-        self.q.value(state.min(STATES - 1), action.min(ACTIONS.len() - 1))
+        self.q
+            .value(state.min(STATES - 1), action.min(ACTIONS.len() - 1))
     }
 
     /// Resets the congestion window to the initial value (used between
@@ -134,8 +135,12 @@ impl CongestionControl for LearnedCc {
         let state = Self::state_of(outcome);
         // Learn from the consequence of the previous action.
         if !self.frozen {
-            self.q
-                .update(self.last_state, self.last_action, Self::reward(outcome), state);
+            self.q.update(
+                self.last_state,
+                self.last_action,
+                Self::reward(outcome),
+                state,
+            );
         }
         let action = self.q.select(state);
         self.last_state = state;
@@ -214,7 +219,11 @@ mod tests {
     fn trained_policy_grows_when_small_backs_off_on_loss() {
         let (cc, _) = train(6_000, 7);
         // Smallest window bucket, flat gradient, no loss: grow.
-        assert!(cc.greedy_multiplier(2) > 1.0, "small: {}", cc.greedy_multiplier(2));
+        assert!(
+            cc.greedy_multiplier(2) > 1.0,
+            "small: {}",
+            cc.greedy_multiplier(2)
+        );
         // Top window bucket with loss (flat gradient): back off.
         assert!(
             cc.greedy_multiplier(27) < 1.0,
@@ -268,6 +277,10 @@ mod tests {
         // Rising-RTT at a small window cannot occur without noise (an empty
         // queue cannot inflate RTT), so that state is barely visited — the
         // OOD hole the P2 scenario falls into.
-        assert!(cc.state_visits(4) < 20, "small-window rising-RTT: {}", cc.state_visits(4));
+        assert!(
+            cc.state_visits(4) < 20,
+            "small-window rising-RTT: {}",
+            cc.state_visits(4)
+        );
     }
 }

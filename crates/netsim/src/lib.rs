@@ -32,7 +32,7 @@ pub use classic::{Aimd, Cubic};
 pub use learned::LearnedCc;
 pub use link::{Link, LinkConfig, RoundOutcome};
 pub use multiflow::{run_fairness_sim, FairnessReport, FairnessSimConfig, SharedLink};
-pub use sim::{run_cc_sim, CcReport, CcSimConfig, CcPolicyKind};
+pub use sim::{run_cc_sim, CcPolicyKind, CcReport, CcSimConfig};
 
 /// A congestion controller: maps the last round's outcome to a new window.
 pub trait CongestionControl {

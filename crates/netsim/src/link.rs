@@ -114,15 +114,10 @@ impl Link {
             (capacity, true, self.config.queue_packets)
         };
         // True RTT inflates with queue occupancy.
-        let true_rtt = Nanos::from_secs_f64(
-            self.config.base_rtt.as_secs_f64() * (1.0 + queue / capacity),
-        );
+        let true_rtt =
+            Nanos::from_secs_f64(self.config.base_rtt.as_secs_f64() * (1.0 + queue / capacity));
         // Measured RTT adds noise (sensors, jittery timestamps, ...).
-        let noise = 1.0
-            + self
-                .rng
-                .normal(0.0, self.config.rtt_noise)
-                .clamp(-0.9, 3.0);
+        let noise = 1.0 + self.rng.normal(0.0, self.config.rtt_noise).clamp(-0.9, 3.0);
         let measured = Nanos::from_secs_f64(true_rtt.as_secs_f64() * noise);
         let gradient = (measured.as_secs_f64() - self.last_measured_rtt.as_secs_f64())
             / self.config.base_rtt.as_secs_f64();

@@ -66,7 +66,10 @@ impl SharedLink {
         let queue = (total - capacity).clamp(0.0, self.config.queue_packets);
         let rtt_ratio = 1.0 + queue / capacity;
         let rtt = Nanos::from_secs_f64(self.config.base_rtt.as_secs_f64() * rtt_ratio);
-        let mut out = [RoundOutcome::initial(&self.config), RoundOutcome::initial(&self.config)];
+        let mut out = [
+            RoundOutcome::initial(&self.config),
+            RoundOutcome::initial(&self.config),
+        ];
         for (i, o) in out.iter_mut().enumerate() {
             let w = windows[i].max(1.0);
             let acked = if total <= capacity {
@@ -74,9 +77,9 @@ impl SharedLink {
             } else {
                 capacity * w / total
             };
-            let gradient =
-                (rtt_ratio - self.last_rtt_ratio[i]) * self.config.base_rtt.as_secs_f64()
-                    / self.config.base_rtt.as_secs_f64();
+            let gradient = (rtt_ratio - self.last_rtt_ratio[i])
+                * self.config.base_rtt.as_secs_f64()
+                / self.config.base_rtt.as_secs_f64();
             self.last_rtt_ratio[i] = rtt_ratio;
             *o = RoundOutcome {
                 acked,

@@ -29,9 +29,7 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -72,9 +70,7 @@ impl<T> RwLock<T> {
 
     /// Consumes the rwlock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 

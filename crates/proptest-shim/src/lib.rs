@@ -593,10 +593,11 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = Just(0u8).prop_map(|_| Tree::Leaf).prop_recursive(3, 24, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-        });
+        let strat = Just(0u8)
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = TestRng::from_name("tree");
         for _ in 0..300 {
             assert!(depth(&strat.gen_value(&mut rng)) <= 3);

@@ -154,7 +154,11 @@ mod tests {
         // Demote the short task hard: its effective burst inflates ~57x
         // (weight ratio 1024/18), overtaking the 8x burst difference.
         short.priority = Priority::new(19);
-        assert_eq!(s.pick(&[&long, &short], Nanos::ZERO), 0, "demotion flips order");
+        assert_eq!(
+            s.pick(&[&long, &short], Nanos::ZERO),
+            0,
+            "demotion flips order"
+        );
     }
 
     #[test]

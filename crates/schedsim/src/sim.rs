@@ -194,7 +194,10 @@ pub fn run_sched_sim(config: SchedSimConfig) -> SchedReport {
                     let victim = if target == "sched.dominant" {
                         store.load("sched.dominant").map(|v| TaskId(v as u64))
                     } else {
-                        target.strip_prefix("task-").and_then(|s| s.parse().ok()).map(TaskId)
+                        target
+                            .strip_prefix("task-")
+                            .and_then(|s| s.parse().ok())
+                            .map(TaskId)
                     };
                     if let Some(id) = victim {
                         if let Some(task) = tasks.iter_mut().find(|t| t.id == id && !t.dead) {
@@ -265,8 +268,15 @@ pub fn run_sched_sim(config: SchedSimConfig) -> SchedReport {
         .map(|s| s.max_wait)
         .max()
         .unwrap_or(Nanos::ZERO);
-    let max_wait = summaries.iter().map(|s| s.max_wait).max().unwrap_or(Nanos::ZERO);
-    let shares: Vec<f64> = summaries.iter().map(|s| s.cpu_time.as_nanos() as f64).collect();
+    let max_wait = summaries
+        .iter()
+        .map(|s| s.max_wait)
+        .max()
+        .unwrap_or(Nanos::ZERO);
+    let shares: Vec<f64> = summaries
+        .iter()
+        .map(|s| s.cpu_time.as_nanos() as f64)
+        .collect();
     SchedReport {
         scheduler: match config.scheduler {
             SchedulerKind::Cfs => "cfs",
@@ -311,9 +321,17 @@ mod tests {
         // And the batch tasks are squeezed: they only run in the gaps when
         // every interactive task is thinking, well under their fair share
         // (2 of 8 equal-priority tasks with by far the most demand).
-        let batch_cpu: Nanos = report.tasks.iter().filter(|t| t.batch).map(|t| t.cpu_time).sum();
+        let batch_cpu: Nanos = report
+            .tasks
+            .iter()
+            .filter(|t| t.batch)
+            .map(|t| t.cpu_time)
+            .sum();
         let total_cpu: Nanos = report.tasks.iter().map(|t| t.cpu_time).sum();
-        assert!(batch_cpu.as_nanos() * 3 < total_cpu.as_nanos(), "batch got {batch_cpu} of {total_cpu}");
+        assert!(
+            batch_cpu.as_nanos() * 3 < total_cpu.as_nanos(),
+            "batch got {batch_cpu} of {total_cpu}"
+        );
     }
 
     #[test]
@@ -332,7 +350,12 @@ mod tests {
             unguarded.batch_max_wait
         );
         // Fairness improves too.
-        assert!(guarded.jain > unguarded.jain, "{} vs {}", guarded.jain, unguarded.jain);
+        assert!(
+            guarded.jain > unguarded.jain,
+            "{} vs {}",
+            guarded.jain,
+            unguarded.jain
+        );
     }
 
     #[test]

@@ -101,7 +101,8 @@ impl SchedTask {
                 Nanos::ZERO
             } else {
                 Nanos::from_secs_f64(
-                    self.rng.exp(1.0 / self.spec.mean_think.as_secs_f64().max(1e-12)),
+                    self.rng
+                        .exp(1.0 / self.spec.mean_think.as_secs_f64().max(1e-12)),
                 )
             };
             self.remaining = Self::sample_burst(&mut self.rng, self.spec.mean_burst);
@@ -185,7 +186,10 @@ mod tests {
         let mut t = task(TaskSpec::batch());
         t.account_wait(Nanos::from_millis(30));
         assert_eq!(t.max_wait, Nanos::from_millis(30));
-        assert_eq!(t.current_wait(Nanos::from_millis(40)), Nanos::from_millis(40));
+        assert_eq!(
+            t.current_wait(Nanos::from_millis(40)),
+            Nanos::from_millis(40)
+        );
         // Dead tasks are never ready.
         t.dead = true;
         assert!(!t.is_ready(Nanos::from_secs(1)));

@@ -173,7 +173,10 @@ mod tests {
         log.log(Nanos::ZERO, LogLevel::Info, "gr-a", "x");
         log.log(Nanos::ZERO, LogLevel::Info, "gr-b", "y");
         log.log(Nanos::ZERO, LogLevel::Info, "gr-a", "z");
-        let msgs: Vec<_> = log.from_source("gr-a").map(|r| r.message.as_str()).collect();
+        let msgs: Vec<_> = log
+            .from_source("gr-a")
+            .map(|r| r.message.as_str())
+            .collect();
         assert_eq!(msgs, vec!["x", "z"]);
     }
 

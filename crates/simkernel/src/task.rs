@@ -270,7 +270,10 @@ mod tests {
         assert_eq!(t.resident_bytes(a), Some(4096));
         assert!(t.kill(a));
         assert!(!t.kill(a), "double kill must fail");
-        assert!(!t.set_priority(a, Priority::LOWEST), "dead task not adjustable");
+        assert!(
+            !t.set_priority(a, Priority::LOWEST),
+            "dead task not adjustable"
+        );
         assert_eq!(t.resident_bytes(a), None);
         assert_eq!(t.killed(), &[a]);
     }

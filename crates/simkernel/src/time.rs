@@ -230,7 +230,13 @@ mod tests {
             .into_iter()
             .sum();
         assert_eq!(total, Nanos::from_millis(1500));
-        assert_eq!(Nanos::from_secs(1).max(Nanos::from_secs(2)), Nanos::from_secs(2));
-        assert_eq!(Nanos::from_secs(1).min(Nanos::from_secs(2)), Nanos::from_secs(1));
+        assert_eq!(
+            Nanos::from_secs(1).max(Nanos::from_secs(2)),
+            Nanos::from_secs(2)
+        );
+        assert_eq!(
+            Nanos::from_secs(1).min(Nanos::from_secs(2)),
+            Nanos::from_secs(1)
+        );
     }
 }

@@ -13,73 +13,138 @@ fn main() {
     let mut wl = Workload::new(WorkloadConfig::default(), 0xF162 ^ 0xAB);
     let mut clf = LinnosClassifier::new(LinnosConfig::default());
 
-    let mut n = 0; let mut slow = 0;
+    let mut n = 0;
+    let mut slow = 0;
     loop {
         let t = wl.next_arrival();
-        if t >= Nanos::from_secs(2) { break; }
+        if t >= Nanos::from_secs(2) {
+            break;
+        }
         let o = array.submit(t, |_| false);
         clf.observe(&o.features, o.was_slow);
-        n += 1; if o.was_slow { slow += 1; }
+        n += 1;
+        if o.was_slow {
+            slow += 1;
+        }
     }
-    println!("warmup: {n} ios, slow frac {:.3}, default mean {:.1}us", slow as f64 / n as f64, array.stats().mean_latency().as_micros_f64());
+    println!(
+        "warmup: {n} ios, slow frac {:.3}, default mean {:.1}us",
+        slow as f64 / n as f64,
+        array.stats().mean_latency().as_micros_f64()
+    );
     let loss = clf.train_round();
     println!("train loss: {loss:?}");
 
     array.reset_stats();
-    let (mut tp, mut fp, mut tn, mut fnn) = (0,0,0,0);
-    let mut fn_feats: Vec<[f64;5]> = Vec::new();
+    let (mut tp, mut fp, mut tn, mut fnn) = (0, 0, 0, 0);
+    let mut fn_feats: Vec<[f64; 5]> = Vec::new();
     let mut fn_lat: Vec<f64> = Vec::new();
     loop {
         let t = wl.next_arrival();
-        if t >= Nanos::from_secs(5) { break; }
+        if t >= Nanos::from_secs(5) {
+            break;
+        }
         let c = &mut clf;
         let o = array.submit(t, |f| c.predict_slow(f));
-        if let Some(ps) = o.probe_was_slow { clf.observe(&o.features, ps); }
+        if let Some(ps) = o.probe_was_slow {
+            clf.observe(&o.features, ps);
+        }
         if o.served_by == o.primary {
             clf.observe(&o.features, o.was_slow);
-            if o.was_slow { fnn += 1; fn_feats.push(o.features); fn_lat.push(o.latency.as_micros_f64()); } else { tn += 1; }
-        } else if o.was_slow { fp += 1; } else { tp += 1; }
+            if o.was_slow {
+                fnn += 1;
+                fn_feats.push(o.features);
+                fn_lat.push(o.latency.as_micros_f64());
+            } else {
+                tn += 1;
+            }
+        } else if o.was_slow {
+            fp += 1;
+        } else {
+            tp += 1;
+        }
     }
     // Shifted phase: age devices, keep model (stale).
     array.set_device_config(FlashDeviceConfig::default().aged());
-    wl.set_config(WorkloadConfig { iops: 2000.0, ..WorkloadConfig::default() });
+    wl.set_config(WorkloadConfig {
+        iops: 2000.0,
+        ..WorkloadConfig::default()
+    });
     let healthy_snapshot = array.stats();
-    
+
     loop {
         let t = wl.next_arrival();
-        if t >= Nanos::from_secs(10) { break; }
+        if t >= Nanos::from_secs(10) {
+            break;
+        }
         let c = &mut clf;
         let o = array.submit(t, |f| c.predict_slow(f));
         let _ = o.false_submit;
     }
     let sh = array.stats();
     let dios = sh.ios - healthy_snapshot.ios;
-    println!("shifted(model): ios {} failover {:.3} false_submit {:.3} mean {:.1}us",
+    println!(
+        "shifted(model): ios {} failover {:.3} false_submit {:.3} mean {:.1}us",
         dios,
         (sh.failovers - healthy_snapshot.failovers) as f64 / dios as f64,
         (sh.false_submits - healthy_snapshot.false_submits) as f64 / dios as f64,
-        (sh.latency_sum_ns - healthy_snapshot.latency_sum_ns) as f64 / dios as f64 / 1000.0);
+        (sh.latency_sum_ns - healthy_snapshot.latency_sum_ns) as f64 / dios as f64 / 1000.0
+    );
 
     // Compare: default policy under aged devices, fresh array.
-    let mut array2 = FlashArray::new(FlashDeviceConfig::default().aged(), 2, Nanos::from_micros(150), 0xF162);
-    let mut wl2 = Workload::new(WorkloadConfig { iops: 2000.0, ..WorkloadConfig::default() }, 0x1234);
+    let mut array2 = FlashArray::new(
+        FlashDeviceConfig::default().aged(),
+        2,
+        Nanos::from_micros(150),
+        0xF162,
+    );
+    let mut wl2 = Workload::new(
+        WorkloadConfig {
+            iops: 2000.0,
+            ..WorkloadConfig::default()
+        },
+        0x1234,
+    );
     loop {
         let t = wl2.next_arrival();
-        if t >= Nanos::from_secs(5) { break; }
+        if t >= Nanos::from_secs(5) {
+            break;
+        }
         array2.submit(t, |_| false);
     }
-    println!("aged default: mean {:.1}us falsesub-equiv {:.3}", array2.stats().mean_latency().as_micros_f64(), array2.stats().false_submit_rate());
+    println!(
+        "aged default: mean {:.1}us falsesub-equiv {:.3}",
+        array2.stats().mean_latency().as_micros_f64(),
+        array2.stats().false_submit_rate()
+    );
 
     let s = array.stats();
-    println!("healthy: ios {} failover {:.3} false_submit {:.3} mean {:.1}us",
-        s.ios, s.failovers as f64 / s.ios as f64, s.false_submit_rate(), s.mean_latency().as_micros_f64());
+    println!(
+        "healthy: ios {} failover {:.3} false_submit {:.3} mean {:.1}us",
+        s.ios,
+        s.failovers as f64 / s.ios as f64,
+        s.false_submit_rate(),
+        s.mean_latency().as_micros_f64()
+    );
     println!("submitted_fast {tn} submitted_slow(FN) {fnn} revoked_totalfast {tp} revoked_totalslow {fp}");
     let n = fn_feats.len().max(1) as f64;
-    let mut mean = [0.0;5];
-    for f in &fn_feats { for i in 0..5 { mean[i] += f[i]/n; } }
-    fn_lat.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    println!("FN mean features: depth {:.2} hist {:.0} {:.0} {:.0} {:.0}", mean[0], mean[1], mean[2], mean[3], mean[4]);
+    let mut mean = [0.0; 5];
+    for f in &fn_feats {
+        for i in 0..5 {
+            mean[i] += f[i] / n;
+        }
+    }
+    fn_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "FN mean features: depth {:.2} hist {:.0} {:.0} {:.0} {:.0}",
+        mean[0], mean[1], mean[2], mean[3], mean[4]
+    );
     if !fn_lat.is_empty() {
-        println!("FN latency p50 {:.0} p90 {:.0} max {:.0}", fn_lat[fn_lat.len()/2], fn_lat[fn_lat.len()*9/10], fn_lat[fn_lat.len()-1]);
+        println!(
+            "FN latency p50 {:.0} p90 {:.0} max {:.0}",
+            fn_lat[fn_lat.len() / 2],
+            fn_lat[fn_lat.len() * 9 / 10],
+            fn_lat[fn_lat.len() - 1]
+        );
     }
 }

@@ -145,13 +145,11 @@ impl FlashDevice {
                 self.config.gc_pause_min.as_micros_f64(),
                 self.config.gc_pause_shape,
             );
-            let pause =
-                Nanos::from_micros(pause_us as u64).min(self.config.gc_pause_max);
+            let pause = Nanos::from_micros(pause_us as u64).min(self.config.gc_pause_max);
             self.gc_until = self.next_gc + pause;
-            let gap = Nanos::from_secs_f64(
-                self.rng.exp(1.0 / self.config.gc_interval.as_secs_f64()),
-            )
-            .max(Nanos::from_micros(1));
+            let gap =
+                Nanos::from_secs_f64(self.rng.exp(1.0 / self.config.gc_interval.as_secs_f64()))
+                    .max(Nanos::from_micros(1));
             self.next_gc = self.gc_until + gap;
         }
     }
@@ -184,9 +182,8 @@ impl FlashDevice {
             hit_gc = true;
         }
         let jitter = 1.0 + self.rng.normal(0.0, self.config.jitter).clamp(-0.5, 0.5);
-        let mut service = Nanos::from_nanos(
-            (self.config.base_latency.as_nanos() as f64 * jitter) as u64,
-        );
+        let mut service =
+            Nanos::from_nanos((self.config.base_latency.as_nanos() as f64 * jitter) as u64);
         if self.rng.chance(self.config.retry_probability) {
             // The retry occupies the die, so it serializes behind-queue work.
             let span = self
@@ -260,8 +257,16 @@ mod tests {
             .iter()
             .filter(|io| io.latency > Nanos::from_micros(500))
             .count();
-        assert!(fast > ios.len() * 65 / 100, "most I/Os fast: {fast}/{}", ios.len());
-        assert!(slow > ios.len() * 5 / 100, "a real slow tail exists: {slow}/{}", ios.len());
+        assert!(
+            fast > ios.len() * 65 / 100,
+            "most I/Os fast: {fast}/{}",
+            ios.len()
+        );
+        assert!(
+            slow > ios.len() * 5 / 100,
+            "a real slow tail exists: {slow}/{}",
+            ios.len()
+        );
     }
 
     #[test]
@@ -269,7 +274,10 @@ mod tests {
         let mut dev = FlashDevice::new(FlashDeviceConfig::default(), 2);
         let ios = run_for(&mut dev, 1, 100);
         let flagged = ios.iter().filter(|io| io.hit_gc).count() as u64;
-        assert_eq!(flagged, (dev.gc_hit_fraction() * dev.completions() as f64).round() as u64);
+        assert_eq!(
+            flagged,
+            (dev.gc_hit_fraction() * dev.completions() as f64).round() as u64
+        );
         // GC-hit I/Os are slower than the fast path.
         for io in ios.iter().filter(|io| io.hit_gc) {
             assert!(io.latency >= Nanos::from_micros(100));

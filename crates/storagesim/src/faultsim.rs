@@ -5,7 +5,9 @@
 //! thing on a schedule, twice: once with the **seed** runtime (all
 //! resilience off, feature-store quarantine disabled — the engine exactly as
 //! it shipped) and once with the **hardened** runtime
-//! ([`ResilienceConfig::hardened`] plus the store's non-finite quarantine).
+//! ([`RuntimeConfig::hardened`]: [`ResilienceConfig::hardened`] plus the
+//! store's non-finite quarantine, applied in one
+//! [`MonitorEngine::apply_runtime`] call).
 //! The paired [`FaultRunReport`]s are what the `exp_faults` experiment (E9)
 //! sweeps into a CSV.
 //!
@@ -29,7 +31,9 @@ use std::time::Duration;
 use guardrails::action::retrain::AsyncRetrainer;
 use guardrails::action::Command;
 use guardrails::fault::{FaultInjector, FaultKind, FaultPhase, FaultPlan, PoisonMode};
-use guardrails::monitor::{Hysteresis, MonitorEngine, ResilienceConfig, WatchdogConfig};
+use guardrails::monitor::{
+    Hysteresis, MonitorEngine, ResilienceConfig, RuntimeConfig, WatchdogConfig,
+};
 use guardrails::policy::VARIANT_LEARNED;
 use mlkit::OutputCorruption;
 use simkernel::{MovingAverage, Nanos};
@@ -165,10 +169,18 @@ pub fn fault_matrix() -> Vec<FaultKind> {
     vec![
         FaultKind::DeviceBrownout { slowdown: 8.0 },
         FaultKind::GcStorm,
-        FaultKind::PoisonModelOutput { mode: PoisonMode::Nan },
-        FaultKind::PoisonModelOutput { mode: PoisonMode::Inf },
-        FaultKind::PoisonModelOutput { mode: PoisonMode::OutOfRange },
-        FaultKind::DroppedSaves { key: "false_submit_rate".to_string() },
+        FaultKind::PoisonModelOutput {
+            mode: PoisonMode::Nan,
+        },
+        FaultKind::PoisonModelOutput {
+            mode: PoisonMode::Inf,
+        },
+        FaultKind::PoisonModelOutput {
+            mode: PoisonMode::OutOfRange,
+        },
+        FaultKind::DroppedSaves {
+            key: "false_submit_rate".to_string(),
+        },
         FaultKind::FuelExhaustion { limit: 2 },
         FaultKind::ReplaceTargetMissing,
         FaultKind::RetrainPanic,
@@ -241,6 +253,14 @@ fn timeline_for(kind: &FaultKind) -> Timeline {
             shift_at: Some(secs(5)),
             window: (Nanos::from_millis(5_500), secs(8)),
         },
+        // Crash-family faults are whole-node events, not in-flight ones:
+        // they are exercised by the `recovery` module's crash-restart
+        // scenarios (E10), which own their own timeline.
+        FaultKind::Crash | FaultKind::TornWrite { .. } | FaultKind::SnapshotCorrupt => Timeline {
+            total: secs(14),
+            shift_at: Some(secs(5)),
+            window: (secs(8), secs(8)),
+        },
     }
 }
 
@@ -263,7 +283,7 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
     let warmup_end = Nanos::from_secs(2);
 
     let mut engine = MonitorEngine::new();
-    if hardened {
+    let runtime = if hardened {
         let resilience = match kind {
             FaultKind::FuelExhaustion { .. } => ResilienceConfig {
                 watchdog: Some(WatchdogConfig::fail_closed().with_max_faults(3)),
@@ -271,10 +291,12 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
             },
             _ => ResilienceConfig::hardened(),
         };
-        engine.set_resilience(resilience);
-    }
+        RuntimeConfig::hardened().with_resilience(resilience)
+    } else {
+        RuntimeConfig::seed()
+    };
+    engine.apply_runtime(&runtime);
     let store = engine.store();
-    store.set_quarantine(hardened);
     store.save("ml_enabled", 1.0);
     store.save("false_submit_rate", 0.0);
 
@@ -415,8 +437,13 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
                             .expect("safe is registered and inactive");
                     }
                 }
-                // Handled at their use sites via `injector.is_active`.
-                FaultKind::DroppedSaves { .. } | FaultKind::RetrainPanic => {}
+                // Handled at their use sites via `injector.is_active`; the
+                // crash family is driven by the `recovery` scenarios.
+                FaultKind::DroppedSaves { .. }
+                | FaultKind::RetrainPanic
+                | FaultKind::Crash
+                | FaultKind::TornWrite { .. }
+                | FaultKind::SnapshotCorrupt => {}
             }
         }
 
@@ -523,8 +550,8 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
             |k| matches!(k, FaultKind::DroppedSaves { key } if key == "false_submit_rate"),
         );
         if !recent_false.is_empty() && !saves_dropped {
-            let rate = recent_false.iter().filter(|&&b| b).count() as f64
-                / recent_false.len() as f64;
+            let rate =
+                recent_false.iter().filter(|&&b| b).count() as f64 / recent_false.len() as f64;
             store.save("false_submit_rate", rate);
         }
 
@@ -552,9 +579,7 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
         // still finite: then either the model is back (window end) or a
         // functioning monitor disabled it deliberately.
         FaultKind::PoisonModelOutput { .. } => {
-            let store_finite = store
-                .load("prediction_health")
-                .is_some_and(f64::is_finite);
+            let store_finite = store.load("prediction_health").is_some_and(f64::is_finite);
             if !store_finite {
                 None
             } else if store.flag("ml_enabled") {
@@ -566,6 +591,11 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
         FaultKind::DroppedSaves { .. } | FaultKind::FuelExhaustion { .. } => ml_off_at,
         FaultKind::ReplaceTargetMissing => replaced_at,
         FaultKind::RetrainPanic => retrain_applied_at,
+        // Crash-family faults run in the `recovery` scenarios; under this
+        // in-process harness they are no-ops, so nothing needs recovering.
+        FaultKind::Crash | FaultKind::TornWrite { .. } | FaultKind::SnapshotCorrupt => {
+            Some(fault_end)
+        }
     };
     let recovery = recovered_at.map(|t| t.saturating_sub(fault_start));
     let stats = engine.stats();
@@ -614,8 +644,7 @@ mod tests {
 
     #[test]
     fn fuel_exhaustion_wedges_seed_runtime_but_not_hardened() {
-        let (seed_run, hardened) =
-            run_fault_pair(FaultKind::FuelExhaustion { limit: 2 }, SEED);
+        let (seed_run, hardened) = run_fault_pair(FaultKind::FuelExhaustion { limit: 2 }, SEED);
         // Seed runtime: every post-fault evaluation aborts, nothing fires.
         assert!(seed_run.wedged, "seed runtime must wedge");
         assert!(seed_run.rule_faults > 0);
@@ -656,7 +685,9 @@ mod tests {
 
     #[test]
     fn dropped_saves_blind_the_seed_runtime() {
-        let kind = FaultKind::DroppedSaves { key: "false_submit_rate".to_string() };
+        let kind = FaultKind::DroppedSaves {
+            key: "false_submit_rate".to_string(),
+        };
         let (seed_run, hardened) = run_fault_pair(kind, SEED);
         assert!(seed_run.wedged, "Listing 2 reads a frozen healthy value");
         assert_eq!(seed_run.violations, 0);
@@ -670,7 +701,9 @@ mod tests {
     #[test]
     fn nan_poison_is_contained_by_the_quarantine() {
         quiet_injected_panics();
-        let kind = FaultKind::PoisonModelOutput { mode: PoisonMode::Nan };
+        let kind = FaultKind::PoisonModelOutput {
+            mode: PoisonMode::Nan,
+        };
         let (seed_run, hardened) = run_fault_pair(kind, SEED);
         // Seed runtime: NaN latches in the store; the spurious kill is
         // permanent and the health feature is unreadable forever.
@@ -694,7 +727,9 @@ mod tests {
     fn out_of_range_poison_fails_safe_in_both_runtimes() {
         // Finite garbage passes a non-finite quarantine — both runtimes fall
         // back to the model-health guardrail, which disables the model.
-        let kind = FaultKind::PoisonModelOutput { mode: PoisonMode::OutOfRange };
+        let kind = FaultKind::PoisonModelOutput {
+            mode: PoisonMode::OutOfRange,
+        };
         let (seed_run, hardened) = run_fault_pair(kind, SEED);
         for report in [&seed_run, &hardened] {
             assert!(!report.wedged, "the guardrail still fires");
@@ -716,10 +751,17 @@ mod tests {
 
     #[test]
     fn transient_device_faults_recover_in_both_runtimes() {
-        for kind in [FaultKind::DeviceBrownout { slowdown: 8.0 }, FaultKind::GcStorm] {
+        for kind in [
+            FaultKind::DeviceBrownout { slowdown: 8.0 },
+            FaultKind::GcStorm,
+        ] {
             let (seed_run, hardened) = run_fault_pair(kind.clone(), SEED);
             for report in [&seed_run, &hardened] {
-                assert!(!report.wedged, "{}: device heals at window end", report.label);
+                assert!(
+                    !report.wedged,
+                    "{}: device heals at window end",
+                    report.label
+                );
                 assert!(
                     report.detection_delay.is_some(),
                     "{}: the latency SLO sees the spike",

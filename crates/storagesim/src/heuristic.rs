@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn always_primary_never_fails_over() {
-        assert_eq!(always_primary(&[100.0, 9999.0, 9999.0, 9999.0, 9999.0]), 0.0);
+        assert_eq!(
+            always_primary(&[100.0, 9999.0, 9999.0, 9999.0, 9999.0]),
+            0.0
+        );
     }
 
     #[test]

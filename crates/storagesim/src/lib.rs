@@ -22,7 +22,12 @@
 //!   guardrail monitor engine and produces Figure 2's latency series;
 //! - [`faultsim`]: chaos-harness scenarios that rerun the setting under
 //!   injected faults, contrasting the seed guardrail runtime with the
-//!   hardened one (experiment E9).
+//!   hardened one (experiment E9);
+//! - [`recovery`]: crash-restart scenarios that kill and reboot the
+//!   guardrail runtime itself, contrasting the seed runtime (loses every
+//!   guardrail decision) with the crash-consistent recovery runtime
+//!   (WAL + snapshot store, engine checkpoint, supervised restarts —
+//!   experiment E10).
 
 #![warn(missing_docs)]
 
@@ -31,15 +36,20 @@ pub mod device;
 pub mod faultsim;
 pub mod heuristic;
 pub mod linnos;
+pub mod recovery;
 pub mod sim;
 pub mod workload;
 
 pub use array::{FlashArray, SubmitOutcome};
+pub use device::{FlashDevice, FlashDeviceConfig};
 pub use faultsim::{
     fault_label, fault_matrix, quiet_injected_panics, run_fault_pair, run_fault_scenario,
     FaultRunReport,
 };
-pub use device::{FlashDevice, FlashDeviceConfig};
 pub use linnos::{LinnosClassifier, LinnosConfig};
+pub use recovery::{
+    recovery_matrix, run_crash_loop, run_crash_pair, run_crash_scenario, run_no_crash_reference,
+    RecoveryRunReport,
+};
 pub use sim::{run_fig2, LinnosSim, LinnosSimConfig, SimReport};
 pub use workload::{Workload, WorkloadConfig};

@@ -110,9 +110,10 @@ impl LinnosClassifier {
         }
         let mut last = None;
         for epoch in 0..self.config.epochs {
-            let sample = self
-                .buffer
-                .sample(self.config.batch, self.config.seed ^ (epoch as u64) ^ self.retrains);
+            let sample = self.buffer.sample(
+                self.config.batch,
+                self.config.seed ^ (epoch as u64) ^ self.retrains,
+            );
             let mut x = Vec::with_capacity(sample.len() * NUM_FEATURES);
             let mut y = Vec::with_capacity(sample.len());
             for (features, label) in &sample {
@@ -121,7 +122,10 @@ impl LinnosClassifier {
             }
             let xm = Matrix::from_vec(sample.len(), NUM_FEATURES, x);
             let ym = Matrix::from_vec(sample.len(), 1, y);
-            last = Some(self.net.train_batch(&xm, &ym, Loss::Bce, &mut self.optimizer));
+            last = Some(
+                self.net
+                    .train_batch(&xm, &ym, Loss::Bce, &mut self.optimizer),
+            );
         }
         self.trained = true;
         last
@@ -176,7 +180,8 @@ impl LinnosClassifier {
     /// buffer contents (the `RETRAIN` action's implementation).
     pub fn retrain(&mut self) {
         self.retrains += 1;
-        self.net.reinitialize(self.config.seed ^ (0x5eed << 8) ^ self.retrains);
+        self.net
+            .reinitialize(self.config.seed ^ (0x5eed << 8) ^ self.retrains);
         self.optimizer = Adam::new(0.005);
         self.train_round();
     }

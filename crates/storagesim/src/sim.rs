@@ -179,12 +179,7 @@ impl LinnosSim {
                 .install_str(LISTING_2_SPEC)
                 .expect("Listing 2 compiles");
         }
-        let array = FlashArray::new(
-            config.device,
-            2,
-            config.revoke_overhead,
-            config.seed,
-        );
+        let array = FlashArray::new(config.device, 2, config.revoke_overhead, config.seed);
         let workload = Workload::new(config.workload, config.seed ^ 0xAB);
         let mut classifier = LinnosClassifier::new(config.linnos);
         // Match the array's slow threshold to the classifier's label.
@@ -211,8 +206,7 @@ impl LinnosSim {
         let warmup_end = self.config.warmup;
 
         let mut moving = MovingAverage::new(self.config.moving_avg_window);
-        let mut recent_false: std::collections::VecDeque<bool> =
-            std::collections::VecDeque::new();
+        let mut recent_false: std::collections::VecDeque<bool> = std::collections::VecDeque::new();
         let mut series = Vec::new();
         let mut ios: u64 = 0;
         let mut trained = false;
@@ -266,8 +260,8 @@ impl LinnosSim {
                 recent_false.pop_front();
             }
             if !recent_false.is_empty() {
-                let rate = recent_false.iter().filter(|&&b| b).count() as f64
-                    / recent_false.len() as f64;
+                let rate =
+                    recent_false.iter().filter(|&&b| b).count() as f64 / recent_false.len() as f64;
                 store.save("false_submit_rate", rate);
             }
 
@@ -332,7 +326,10 @@ mod tests {
             report.healthy.false_submit_rate
         );
         assert!(report.healthy.ios > 1_000);
-        assert!(report.healthy.failover_rate > 0.01, "the model does fail over");
+        assert!(
+            report.healthy.failover_rate > 0.01,
+            "the model does fail over"
+        );
     }
 
     #[test]
@@ -348,7 +345,10 @@ mod tests {
             trigger <= shift + Nanos::from_secs(3),
             "trigger {trigger} too late"
         );
-        assert!(!guarded.ml_enabled_at_end, "model disabled by the guardrail");
+        assert!(
+            !guarded.ml_enabled_at_end,
+            "model disabled by the guardrail"
+        );
         assert!(unguarded.ml_enabled_at_end);
         assert_eq!(unguarded.violations, 0);
         // The unguarded run's post-shift false submits stay high.
@@ -365,9 +365,7 @@ mod tests {
             unguarded.shifted.mean_latency_us
         );
         // And both runs were identical before the shift (same seeds).
-        assert!(
-            (guarded.healthy.mean_latency_us - unguarded.healthy.mean_latency_us).abs() < 1e-9
-        );
+        assert!((guarded.healthy.mean_latency_us - unguarded.healthy.mean_latency_us).abs() < 1e-9);
     }
 
     #[test]

@@ -132,7 +132,11 @@ mod tests {
             .windows(2)
             .filter(|p| p[1] - p[0] <= Nanos::from_micros(1))
             .count();
-        assert!(tight_gaps > arrivals.len() / 2, "{tight_gaps}/{}", arrivals.len());
+        assert!(
+            tight_gaps > arrivals.len() / 2,
+            "{tight_gaps}/{}",
+            arrivals.len()
+        );
     }
 
     #[test]
@@ -143,9 +147,7 @@ mod tests {
             iops: 50_000.0,
             ..WorkloadConfig::default()
         });
-        let after = w
-            .arrivals_until(Nanos::from_millis(200))
-            .len();
+        let after = w.arrivals_until(Nanos::from_millis(200)).len();
         assert!(after > before * 3, "{before} -> {after}");
     }
 }

@@ -51,7 +51,9 @@ fn main() {
     registry
         .register("io_submit", &[VARIANT_LEARNED, "safe", "default"])
         .unwrap();
-    registry.set_default_variant("io_submit", "default").unwrap();
+    registry
+        .set_default_variant("io_submit", "default")
+        .unwrap();
     registry.unregister_variant("io_submit", "safe").unwrap();
     engine.install_str(FAILOVER_SPEC).unwrap();
     engine.store().save("err_rate", 0.20);
@@ -89,7 +91,9 @@ fn main() {
     //    runtime differs.
     println!("\nchaos scenario: poison_nan on the LinnOS setting (takes a few seconds)");
     let (seed_run, hardened) = run_fault_pair(
-        FaultKind::PoisonModelOutput { mode: PoisonMode::Nan },
+        FaultKind::PoisonModelOutput {
+            mode: PoisonMode::Nan,
+        },
         0xF162,
     );
     let describe = |r: &FaultRunReport| {

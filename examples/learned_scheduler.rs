@@ -17,7 +17,10 @@ fn main() {
         ..SchedSimConfig::default()
     });
 
-    println!("{:<24} {:>14}  {:>6}  {:>10}  {:>17}", "policy", "batch max wait", "jain", "violations", "deprioritizations");
+    println!(
+        "{:<24} {:>14}  {:>6}  {:>10}  {:>17}",
+        "policy", "batch max wait", "jain", "violations", "deprioritizations"
+    );
     for report in [&baseline, &unguarded, &guarded] {
         let label = if report.violations > 0 || report.commands_applied > 0 {
             format!("{} + guardrail", report.scheduler)
@@ -38,7 +41,11 @@ fn main() {
         println!(
             "  {}  {}  cpu={}  max_wait={}  final nice={}{}",
             task.id,
-            if task.batch { "batch      " } else { "interactive" },
+            if task.batch {
+                "batch      "
+            } else {
+                "interactive"
+            },
             task.cpu_time,
             task.max_wait,
             task.final_priority.nice(),

@@ -27,7 +27,11 @@ fn main() {
     // 1. Parse → check → compile → verify → install.
     let mut engine = MonitorEngine::new();
     let ids = engine.install_str(LISTING_2).expect("Listing 2 compiles");
-    println!("installed {} guardrail(s): {:?}", ids.len(), engine.monitor_names());
+    println!(
+        "installed {} guardrail(s): {:?}",
+        ids.len(),
+        engine.monitor_names()
+    );
 
     // 2. The kernel side: the learned policy consults `ml_enabled`, and
     //    instrumentation maintains `false_submit_rate` in the feature store.

@@ -49,7 +49,9 @@ fn resilience_mechanisms_compose_on_one_engine() {
     registry
         .register("io_submit", &[VARIANT_LEARNED, "safe", "default"])
         .unwrap();
-    registry.set_default_variant("io_submit", "default").unwrap();
+    registry
+        .set_default_variant("io_submit", "default")
+        .unwrap();
     registry.unregister_variant("io_submit", "safe").unwrap();
     engine
         .install_str(

@@ -18,12 +18,7 @@ fn arb_samples() -> impl Strategy<Value = Vec<(u64, f64)>> {
 }
 
 /// Naive reference for the windowed aggregates.
-fn reference_aggregate(
-    samples: &[(u64, f64)],
-    kind: AggKind,
-    window_ns: u64,
-    now_ns: u64,
-) -> f64 {
+fn reference_aggregate(samples: &[(u64, f64)], kind: AggKind, window_ns: u64, now_ns: u64) -> f64 {
     let horizon = now_ns.saturating_sub(window_ns);
     let vals: Vec<f64> = samples
         .iter()

@@ -39,7 +39,10 @@ fn arb_key() -> impl Strategy<Value = String> {
             s
         })
         .prop_filter("reserved words", |s| {
-            !matches!(s.as_str(), "true" | "false" | "guardrail" | "trigger" | "rule" | "action")
+            !matches!(
+                s.as_str(),
+                "true" | "false" | "guardrail" | "trigger" | "rule" | "action"
+            )
         })
 }
 
@@ -56,13 +59,7 @@ fn arb_report_message() -> impl Strategy<Value = String> {
 }
 
 fn arb_number() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1e6..1e6f64,
-        Just(0.0),
-        Just(1.0),
-        Just(0.05),
-        Just(1e9),
-    ]
+    prop_oneof![-1e6..1e6f64, Just(0.0), Just(1.0), Just(0.05), Just(1e9),]
 }
 
 fn arb_agg() -> impl Strategy<Value = AggKind> {
@@ -107,7 +104,9 @@ fn arb_num_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Mul, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Div, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Mod, a, b)),
-            inner.clone().prop_map(|a| Expr::Unary(UnOp::Neg, Box::new(a))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnOp::Neg, Box::new(a))),
             inner.clone().prop_map(|a| Expr::Abs(Box::new(a))),
             (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Clamp(
                 Box::new(a),
@@ -121,7 +120,14 @@ fn arb_num_expr() -> impl Strategy<Value = Expr> {
 /// Boolean expressions built over numeric comparisons.
 fn arb_bool_expr() -> impl Strategy<Value = Expr> {
     let cmp = (arb_num_expr(), arb_num_expr(), 0usize..6).prop_map(|(a, b, op)| {
-        let op = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne][op];
+        let op = [
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ][op];
         Expr::bin(op, a, b)
     });
     let leaf = prop_oneof![cmp, any::<bool>().prop_map(Expr::Bool)];
@@ -136,7 +142,10 @@ fn arb_bool_expr() -> impl Strategy<Value = Expr> {
 
 fn arb_action() -> impl Strategy<Value = ActionStmt> {
     prop_oneof![
-        (arb_report_message(), proptest::collection::vec(arb_key(), 0..3))
+        (
+            arb_report_message(),
+            proptest::collection::vec(arb_key(), 0..3)
+        )
             .prop_map(|(message, keys)| ActionStmt::Report { message, keys }),
         (arb_key(), arb_key()).prop_map(|(slot, variant)| ActionStmt::Replace { slot, variant }),
         arb_key().prop_map(|model| ActionStmt::Retrain { model }),
@@ -169,7 +178,10 @@ fn arb_guardrail(name: String) -> impl Strategy<Value = Guardrail> {
 fn arb_spec() -> impl Strategy<Value = Spec> {
     proptest::collection::vec(arb_bool_expr(), 0..1) // Dummy to vary shrink seeds.
         .prop_flat_map(|_| {
-            (arb_guardrail("g-one".to_string()), arb_guardrail("g_two".to_string()))
+            (
+                arb_guardrail("g-one".to_string()),
+                arb_guardrail("g_two".to_string()),
+            )
                 .prop_map(|(a, b)| Spec {
                     guardrails: vec![a, b],
                 })

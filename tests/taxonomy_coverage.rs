@@ -1,7 +1,6 @@
 //! Executable coverage of the paper's Figure 1 taxonomy: every property
 //! P1–P6 detectable, every action A1–A4 applicable, across crates.
 
-
 use guardrails::action::retrain::RetrainLimiter;
 use guardrails::action::Command;
 use guardrails::monitor::{Hysteresis, MonitorEngine};
@@ -60,7 +59,12 @@ fn p1_in_distribution_detects_drift_and_requests_retrain() {
 fn p2_robustness_detects_discontinuous_model() {
     let mut engine = MonitorEngine::new();
     engine
-        .install_str(&props::p2_robustness("p2", "cc_model", 50.0, Nanos::from_secs(1)))
+        .install_str(&props::p2_robustness(
+            "p2",
+            "cc_model",
+            50.0,
+            Nanos::from_secs(1),
+        ))
         .unwrap();
     let store = engine.store();
 
@@ -86,7 +90,9 @@ fn p2_robustness_detects_discontinuous_model() {
 fn p3_bounds_replace_fallback() {
     let mut engine = MonitorEngine::new();
     let registry = engine.registry();
-    registry.register("alloc_policy", &["learned", "fallback"]).unwrap();
+    registry
+        .register("alloc_policy", &["learned", "fallback"])
+        .unwrap();
     engine
         .install_str(&props::p3_output_bounds(
             "p3",
@@ -110,7 +116,9 @@ fn p3_bounds_replace_fallback() {
 fn p4_quality_fires_on_windowed_accuracy() {
     let mut engine = MonitorEngine::new();
     let registry = engine.registry();
-    registry.register("io_policy", &["learned", "fallback"]).unwrap();
+    registry
+        .register("io_policy", &["learned", "fallback"])
+        .unwrap();
     engine
         .install_str(&props::p4_decision_quality(
             "p4",
@@ -144,7 +152,9 @@ fn p4_quality_fires_on_windowed_accuracy() {
 fn p5_overhead_fires_when_gains_evaporate() {
     let mut engine = MonitorEngine::new();
     let registry = engine.registry();
-    registry.register("io_policy", &["learned", "fallback"]).unwrap();
+    registry
+        .register("io_policy", &["learned", "fallback"])
+        .unwrap();
     engine
         .install_str(&props::p5_decision_overhead(
             "p5",
@@ -208,10 +218,7 @@ fn p6_starvation_deprioritizes_and_kills_via_task_table() {
             if steps >= 40 {
                 assert!(table.kill(id));
             } else {
-                assert!(table.set_priority(
-                    id,
-                    table.get(id).unwrap().priority.demoted(steps)
-                ));
+                assert!(table.set_priority(id, table.get(id).unwrap().priority.demoted(steps)));
             }
         }
     }
@@ -310,7 +317,10 @@ fn incremental_deployment_on_live_engine() {
     let before = engine.stats().evaluations;
     engine.advance_to(Nanos::from_secs(9));
     let delta = engine.stats().evaluations - before;
-    assert!((3..=4).contains(&delta), "only one monitor evaluating: {delta}");
+    assert!(
+        (3..=4).contains(&delta),
+        "only one monitor evaluating: {delta}"
+    );
 }
 
 /// §3.3 auto-tightening: deploy a guardrail with a relaxed threshold that
@@ -352,7 +362,10 @@ fn calibrator_tightens_a_relaxed_guardrail() {
     store.save("io.latency_us", 300.0);
     now += Nanos::from_millis(100);
     engine.advance_to(now);
-    assert!(!engine.violations().is_empty(), "tightened guardrail catches it");
+    assert!(
+        !engine.violations().is_empty(),
+        "tightened guardrail catches it"
+    );
 }
 
 /// End-to-end system properties spanning multiple learned agents (the
