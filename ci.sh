@@ -17,3 +17,19 @@ git diff --exit-code -- results/exp_recovery.csv || {
          "committed results are stale — rerun and commit them)." >&2
     exit 1
 }
+
+# Criterion smoke run: the offline criterion shim caps every benchmark at a
+# ~25ms budget, so the whole suite is a fast sanity pass that the bench
+# targets still run (the numbers themselves are not gated).
+cargo bench -p gr-bench >/dev/null
+
+# E11 determinism + hot-path invariants: the binary asserts that batched
+# ingestion is observationally identical to (and >=3x faster than) the
+# legacy path and that group commit shrinks the WAL; its CSV holds only
+# deterministic columns and must be byte-identical on every run.
+cargo run --release -p gr-bench --bin exp_hotpath >/dev/null
+git diff --exit-code -- results/exp_hotpath.csv || {
+    echo "exp_hotpath.csv changed: E11 is no longer deterministic (or the" \
+         "committed results are stale — rerun and commit them)." >&2
+    exit 1
+}

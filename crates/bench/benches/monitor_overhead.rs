@@ -6,6 +6,7 @@
 //! how cost scales with the number of installed monitors sharing a hook.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use guardrails::monitor::engine::FnEvent;
 use guardrails::monitor::MonitorEngine;
 use simkernel::Nanos;
 use std::hint::black_box;
@@ -62,6 +63,21 @@ fn function_trigger(c: &mut Criterion) {
         b.iter(|| {
             now += Nanos::from_micros(1);
             engine.on_function(black_box("unrelated"), now, black_box(&[512.0]));
+        })
+    });
+    // Batched delivery: one dispatch-index lookup, one wall-clock read, and
+    // one subscriber-list borrow amortized over 64 events.
+    c.bench_function("function_trigger_batch_of_64", |b| {
+        b.iter(|| {
+            let args = [512.0f64];
+            let events: Vec<FnEvent<'_>> = (0..64)
+                .map(|i| FnEvent {
+                    now: now + Nanos::from_micros(i + 1),
+                    args: &args,
+                })
+                .collect();
+            now += Nanos::from_micros(64);
+            engine.on_function_batch(black_box("decide"), black_box(&events));
         })
     });
 }

@@ -102,7 +102,9 @@ fn a3_retrain() -> Row {
     engine.store().save("accuracy", 0.3);
     engine.advance_to(Nanos::ZERO);
     let mut retrained = false;
-    for (_, command) in engine.drain_commands() {
+    let mut commands = Vec::new();
+    engine.drain_commands_into(&mut commands);
+    for (_, command) in commands {
         if let Command::Retrain { model, .. } = command {
             assert_eq!(model, "io_model");
             clf.retrain();
@@ -139,7 +141,9 @@ fn a4_deprioritize() -> Row {
     table.get_mut(hog).unwrap().resident_bytes = 1 << 30;
     engine.store().save("free_bytes", 1000.0); // OOM pressure.
     engine.advance_to(Nanos::ZERO);
-    for (_, command) in engine.drain_commands() {
+    let mut commands = Vec::new();
+    engine.drain_commands_into(&mut commands);
+    for (_, command) in commands {
         if let Command::Deprioritize { target, steps, .. } = command {
             let id = if target == "batch" { batch } else { hog };
             if steps >= 40 {

@@ -81,8 +81,19 @@ impl CommandOutbox {
     }
 
     /// Drains all pending commands, oldest first.
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops that poll every tick
+    /// should prefer [`CommandOutbox::drain_into`] with a reused buffer.
     pub fn drain(&mut self) -> Vec<(Nanos, Command)> {
         self.queue.drain(..).collect()
+    }
+
+    /// Appends all pending commands (oldest first) to `buf` without
+    /// allocating a fresh vector. The usual empty-outbox poll is a single
+    /// length check; a reused buffer keeps the non-empty case allocation-free
+    /// once it has grown to the high-water mark.
+    pub fn drain_into(&mut self, buf: &mut Vec<(Nanos, Command)>) {
+        buf.extend(self.queue.drain(..));
     }
 
     /// Number of pending commands.
@@ -122,6 +133,30 @@ mod tests {
         assert_eq!(drained[0].0, Nanos::from_secs(1));
         assert_eq!(drained[0].1, cmd(1));
         assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn drain_into_reuses_the_buffer() {
+        let mut outbox = CommandOutbox::default();
+        outbox.push(Nanos::from_secs(1), cmd(1));
+        outbox.push(Nanos::from_secs(2), cmd(2));
+        let mut buf = Vec::new();
+        outbox.drain_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].1, cmd(1));
+        assert!(outbox.is_empty());
+        let cap = buf.capacity();
+        // An empty drain leaves the buffer (and its capacity) untouched.
+        buf.clear();
+        outbox.drain_into(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        // A non-empty drain appends rather than replacing.
+        buf.push((Nanos::ZERO, cmd(0)));
+        outbox.push(Nanos::from_secs(3), cmd(3));
+        outbox.drain_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[1].1, cmd(3));
     }
 
     #[test]

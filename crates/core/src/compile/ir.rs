@@ -137,6 +137,195 @@ impl Op {
     }
 }
 
+/// A comparison selector for fused superinstructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpKind {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpKind {
+    /// The stack op this selector stands in for.
+    pub fn op(self) -> Op {
+        match self {
+            CmpKind::Lt => Op::Lt,
+            CmpKind::Le => Op::Le,
+            CmpKind::Gt => Op::Gt,
+            CmpKind::Ge => Op::Ge,
+            CmpKind::Eq => Op::Eq,
+            CmpKind::Ne => Op::Ne,
+        }
+    }
+
+    /// Evaluates the comparison with the VM's NaN-is-false semantics.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        if a.is_nan() || b.is_nan() {
+            return false;
+        }
+        match self {
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+        }
+    }
+
+    /// Maps a comparison stack op to its selector.
+    pub fn from_op(op: Op) -> Option<Self> {
+        Some(match op {
+            Op::Lt => CmpKind::Lt,
+            Op::Le => CmpKind::Le,
+            Op::Gt => CmpKind::Gt,
+            Op::Ge => CmpKind::Ge,
+            Op::Eq => CmpKind::Eq,
+            Op::Ne => CmpKind::Ne,
+            _ => return None,
+        })
+    }
+}
+
+/// An arithmetic selector for fused superinstructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (total: 0 when the divisor is 0)
+    Div,
+    /// `%` (total: 0 when the divisor is 0)
+    Mod,
+}
+
+impl ArithKind {
+    /// The stack op this selector stands in for.
+    pub fn op(self) -> Op {
+        match self {
+            ArithKind::Add => Op::Add,
+            ArithKind::Sub => Op::Sub,
+            ArithKind::Mul => Op::Mul,
+            ArithKind::Div => Op::Div,
+            ArithKind::Mod => Op::Mod,
+        }
+    }
+
+    /// Evaluates the operation with the VM's total-arithmetic semantics.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithKind::Add => a + b,
+            ArithKind::Sub => a - b,
+            ArithKind::Mul => a * b,
+            ArithKind::Div => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            ArithKind::Mod => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+
+    /// Maps an arithmetic stack op to its selector.
+    pub fn from_op(op: Op) -> Option<Self> {
+        Some(match op {
+            Op::Add => ArithKind::Add,
+            Op::Sub => ArithKind::Sub,
+            Op::Mul => ArithKind::Mul,
+            Op::Div => ArithKind::Div,
+            Op::Mod => ArithKind::Mod,
+            _ => return None,
+        })
+    }
+}
+
+/// One instruction of the fused fast stream (see [`crate::compile::opt::fuse_program`]).
+///
+/// The dominant rule shapes — `LOAD(key) <= const`, `ARG(i) > const`,
+/// `LOAD(key) / const` — each cost three stack dispatches and four stack
+/// moves in the base encoding. Superinstructions collapse them into one
+/// dispatch whose operands live in the instruction itself (register style:
+/// the intermediate values never touch the operand stack). Everything else
+/// falls back to [`FusedOp::Plain`], executed by the ordinary stack
+/// machinery, so the fast stream is always exactly equivalent to `ops`.
+///
+/// Each fused instruction charges the *sum* of its constituent ops' fuel,
+/// so dynamic fuel accounting (and fuel-limit faulting) is unchanged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FusedOp {
+    /// `Load(key); Push(constant); <cmp>` in one dispatch.
+    LoadCmpConst {
+        /// Interned key index.
+        key: u16,
+        /// Which comparison.
+        cmp: CmpKind,
+        /// The immediate right-hand side.
+        constant: f64,
+    },
+    /// `Arg(arg); Push(constant); <cmp>` in one dispatch.
+    ArgCmpConst {
+        /// Trigger-argument index.
+        arg: u8,
+        /// Which comparison.
+        cmp: CmpKind,
+        /// The immediate right-hand side.
+        constant: f64,
+    },
+    /// `Load(key); Push(constant); <arith>` in one dispatch.
+    LoadArithConst {
+        /// Interned key index.
+        key: u16,
+        /// Which operation.
+        arith: ArithKind,
+        /// The immediate right-hand side.
+        constant: f64,
+    },
+    /// Any other op, executed by the stack fallback path. Jump targets
+    /// are rewritten to fused-stream indices.
+    Plain(Op),
+}
+
+impl FusedOp {
+    /// Fuel cost: the sum of the constituent base ops, so the fused stream
+    /// charges exactly what the base stream would.
+    pub fn cost(self) -> u64 {
+        match self {
+            FusedOp::LoadCmpConst { cmp, .. } => {
+                Op::Load(0).cost() + Op::Push(0.0).cost() + cmp.op().cost()
+            }
+            FusedOp::ArgCmpConst { cmp, .. } => {
+                Op::Arg(0).cost() + Op::Push(0.0).cost() + cmp.op().cost()
+            }
+            FusedOp::LoadArithConst { arith, .. } => {
+                Op::Load(0).cost() + Op::Push(0.0).cost() + arith.op().cost()
+            }
+            FusedOp::Plain(op) => op.cost(),
+        }
+    }
+}
+
 /// A compiled, executable program: instructions plus an interned key table.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct Program {
@@ -144,6 +333,10 @@ pub struct Program {
     pub ops: Vec<Op>,
     /// Interned feature-store keys referenced by `Load`/`Agg`/... indices.
     pub keys: Vec<String>,
+    /// The fused fast stream, derived from `ops` by
+    /// [`crate::compile::opt::fuse_program`] *after* verification. Empty
+    /// when fusion has not run; the VM then interprets `ops` directly.
+    pub fused: Vec<FusedOp>,
 }
 
 impl Program {
@@ -233,6 +426,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Push(1.0), Op::Load(0), Op::Add],
             keys: vec!["k".into()],
+            fused: vec![],
         };
         assert_eq!(p.worst_case_fuel(), 1 + 4 + 1);
         assert_eq!(p.len(), 3);
@@ -244,6 +438,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Load(0), Op::Push(0.05), Op::Le],
             keys: vec!["false_submit_rate".into()],
+            fused: vec![],
         };
         let text = p.to_string();
         assert!(text.contains("load false_submit_rate"), "{text}");

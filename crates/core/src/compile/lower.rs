@@ -21,6 +21,9 @@ pub fn lower_expr(e: &Expr) -> Result<Program> {
     Ok(Program {
         ops: l.ops,
         keys: l.keys,
+        // Fusion runs after verification (see `compile_guardrail`), so the
+        // verifier always sees — and certifies — the base stream.
+        fused: Vec::new(),
     })
 }
 

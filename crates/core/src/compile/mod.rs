@@ -25,6 +25,9 @@ pub struct CompileOptions {
     /// Run the AST optimizer before lowering (on by default; the E2 ablation
     /// bench measures its effect).
     pub optimize: bool,
+    /// Derive the fused superinstruction stream after verification (on by
+    /// default; the E11 hot-path experiment ablates it).
+    pub fuse: bool,
     /// Verifier resource limits.
     pub limits: VerifyLimits,
 }
@@ -33,6 +36,7 @@ impl Default for CompileOptions {
     fn default() -> Self {
         CompileOptions {
             optimize: true,
+            fuse: true,
             limits: VerifyLimits::default(),
         }
     }
@@ -139,8 +143,13 @@ pub fn compile_guardrail(g: &CheckedGuardrail, opts: &CompileOptions) -> Result<
         } else {
             rule.clone()
         };
-        let program = lower::lower_expr(&folded)?;
+        let mut program = lower::lower_expr(&folded)?;
         let report = verify_named(&program, ExpectedType::Bool, &opts.limits, &g.name)?;
+        // Fuse only after the verifier has certified the base stream; the
+        // fused stream is a derived encoding of the same program.
+        if opts.fuse {
+            program.fused = opt::fuse_program(&program);
+        }
         rules.push(CompiledRule {
             program,
             source,
@@ -173,8 +182,11 @@ fn compile_action(
         } else {
             e.clone()
         };
-        let program = lower::lower_expr(&folded)?;
+        let mut program = lower::lower_expr(&folded)?;
         verify_named(&program, expect, &opts.limits, &g.name)?;
+        if opts.fuse {
+            program.fused = opt::fuse_program(&program);
+        }
         Ok(program)
     };
     Ok(match action {

@@ -391,6 +391,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Add],
             keys: vec![],
+            fused: vec![],
         };
         let err = verify(&p, ExpectedType::Num, &limits()).unwrap_err();
         assert!(format!("{err}").contains("underflow"), "{err}");
@@ -401,6 +402,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Push(1.0), Op::JumpIfTruePeek(0)],
             keys: vec![],
+            fused: vec![],
         };
         let err = verify(&p, ExpectedType::Bool, &limits()).unwrap_err();
         assert!(format!("{err}").contains("backward"), "{err}");
@@ -411,6 +413,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Load(3)],
             keys: vec!["only".into()],
+            fused: vec![],
         };
         assert!(verify(&p, ExpectedType::Num, &limits()).is_err());
     }
@@ -420,6 +423,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Push(1.0), Op::Push(2.0)],
             keys: vec![],
+            fused: vec![],
         };
         let err = verify(&p, ExpectedType::Num, &limits()).unwrap_err();
         assert!(format!("{err}").contains("exactly one"), "{err}");
@@ -431,6 +435,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Load(0), Op::Load(0), Op::Lt, Op::Load(0), Op::Add],
             keys: vec!["k".into()],
+            fused: vec![],
         };
         let err = verify(&p, ExpectedType::Num, &limits()).unwrap_err();
         assert!(format!("{err}").contains("arithmetic on boolean"), "{err}");
@@ -438,6 +443,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Load(0), Op::Not],
             keys: vec!["k".into()],
+            fused: vec![],
         };
         assert!(verify(&p, ExpectedType::Bool, &limits()).is_err());
     }
@@ -447,6 +453,7 @@ mod tests {
         let num = Program {
             ops: vec![Op::Load(0)],
             keys: vec!["k".into()],
+            fused: vec![],
         };
         assert!(verify(&num, ExpectedType::Bool, &limits()).is_err());
         assert!(verify(&num, ExpectedType::Num, &limits()).is_ok());
@@ -454,6 +461,7 @@ mod tests {
         let boolean = Program {
             ops: vec![Op::Load(0), Op::Push(1.0), Op::Lt],
             keys: vec!["k".into()],
+            fused: vec![],
         };
         assert!(verify(&boolean, ExpectedType::Num, &limits()).is_err());
         assert!(verify(&boolean, ExpectedType::Bool, &limits()).is_ok());
@@ -466,7 +474,11 @@ mod tests {
             ops.push(Op::Push(1.0));
             ops.push(Op::Add);
         }
-        let p = Program { ops, keys: vec![] };
+        let p = Program {
+            ops,
+            keys: vec![],
+            fused: vec![],
+        };
         let tight = VerifyLimits {
             max_instrs: 10,
             ..VerifyLimits::default()
@@ -483,7 +495,11 @@ mod tests {
     #[test]
     fn enforces_stack_limit() {
         let ops: Vec<Op> = (0..20).map(|_| Op::Push(1.0)).collect();
-        let p = Program { ops, keys: vec![] };
+        let p = Program {
+            ops,
+            keys: vec![],
+            fused: vec![],
+        };
         let tight = VerifyLimits {
             max_stack: 4,
             ..VerifyLimits::default()
@@ -501,6 +517,7 @@ mod tests {
                 window_ns: 1,
             }],
             keys: vec!["k".into()],
+            fused: vec![],
         };
         assert!(verify(&p, ExpectedType::Num, &limits()).is_err());
         let p = Program {
@@ -510,6 +527,7 @@ mod tests {
                 window_ns: 0,
             }],
             keys: vec!["k".into()],
+            fused: vec![],
         };
         assert!(verify(&p, ExpectedType::Num, &limits()).is_err());
     }
@@ -521,6 +539,7 @@ mod tests {
         let p = Program {
             ops: vec![Op::Push(f64::NAN)],
             keys: vec![],
+            fused: vec![],
         };
         assert!(verify(&p, ExpectedType::Num, &limits()).is_err());
     }

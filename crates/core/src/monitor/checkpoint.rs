@@ -76,14 +76,15 @@ impl EngineCheckpoint {
         body.push_str(&format!("now {}\n", self.now.as_nanos()));
         let s = &self.stats;
         body.push_str(&format!(
-            "stats {} {} {} {} {} {} {}\n",
+            "stats {} {} {} {} {} {} {} {}\n",
             s.evaluations,
             s.violations,
             s.trips,
             s.commands_emitted,
             s.rule_faults,
             s.watchdog_trips,
-            s.retrain_retries
+            s.retrain_retries,
+            s.eval_wall_ns
         ));
         for (slot, variant) in &self.slots {
             body.push_str(&format!("slot {slot} {variant}\n"));
@@ -162,7 +163,7 @@ impl EngineCheckpoint {
             let fields: Vec<&str> = line.split_ascii_whitespace().collect();
             match fields.as_slice() {
                 ["now", n] => now = Some(Nanos::from_nanos(parse_u64(n)?)),
-                ["stats", ev, vi, tr, cm, rf, wt, rr] => {
+                ["stats", ev, vi, tr, cm, rf, wt, rr, wall] => {
                     stats = Some(EngineStats {
                         evaluations: parse_u64(ev)?,
                         violations: parse_u64(vi)?,
@@ -171,6 +172,7 @@ impl EngineCheckpoint {
                         rule_faults: parse_u64(rf)?,
                         watchdog_trips: parse_u64(wt)?,
                         retrain_retries: parse_u64(rr)?,
+                        eval_wall_ns: parse_u64(wall)?,
                     });
                 }
                 ["slot", name, variant] => {
@@ -252,6 +254,7 @@ mod tests {
                 rule_faults: 0,
                 watchdog_trips: 0,
                 retrain_retries: 4,
+                eval_wall_ns: 52_000,
             },
             slots: vec![("io_latency".to_string(), "fallback".to_string())],
             monitors: vec![MonitorCheckpoint {

@@ -18,6 +18,7 @@ use crate::monitor::overhead::{OverheadAccount, OverheadReport};
 use crate::monitor::resilience::{FailMode, ResilienceConfig, RuntimeConfig};
 use crate::monitor::violation::{TriggerKind, Violation, ViolationLog};
 use crate::policy::PolicyRegistry;
+use crate::store::fxhash::FxHashMap;
 use crate::store::FeatureStore;
 use crate::vm::{DeltaState, EvalCtx, Vm};
 
@@ -42,6 +43,48 @@ pub struct EngineStats {
     pub watchdog_trips: u64,
     /// `RETRAIN` retry attempts serviced (successful or not).
     pub retrain_retries: u64,
+    /// Cumulative measured wall time spent in rule evaluation, in
+    /// nanoseconds (the engine-wide P5 figure; per-monitor splits live in
+    /// [`OverheadAccount`] via [`MonitorEngine::overhead_reports`]).
+    pub eval_wall_ns: u64,
+}
+
+impl EngineStats {
+    /// Mean measured wall time per rule-set evaluation, in nanoseconds.
+    pub fn mean_eval_ns(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.eval_wall_ns as f64 / self.evaluations as f64
+        }
+    }
+}
+
+/// One tracepoint firing, as consumed by [`MonitorEngine::on_function_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct FnEvent<'a> {
+    /// The event timestamp.
+    pub now: Nanos,
+    /// The trigger arguments (`ARG(i)` operands).
+    pub args: &'a [f64],
+}
+
+/// A borrowed trigger descriptor used on the hot path, materialized into an
+/// owning [`TriggerKind`] only when a violation is actually recorded — the
+/// overwhelmingly common healthy evaluation allocates nothing.
+#[derive(Clone, Copy, Debug)]
+enum TriggerRef<'a> {
+    Timer,
+    Function(&'a str),
+}
+
+impl TriggerRef<'_> {
+    fn to_kind(self) -> TriggerKind {
+        match self {
+            TriggerRef::Timer => TriggerKind::Timer,
+            TriggerRef::Function(hook) => TriggerKind::Function(hook.to_string()),
+        }
+    }
 }
 
 /// A `RETRAIN` awaiting its backoff-scheduled retry.
@@ -89,7 +132,10 @@ pub struct MonitorEngine {
     names: HashMap<String, usize>,
     /// Min-heap of (due, monitor, timer-index).
     timers: BinaryHeap<Reverse<(Nanos, usize, usize)>>,
-    hooks: HashMap<String, Vec<usize>>,
+    /// The hook→subscribers dispatch index: one fast-hash lookup per event
+    /// (or per batch) resolves every monitor attached to a tracepoint.
+    /// Maintained incrementally by `install`/`uninstall`.
+    hooks: FxHashMap<String, Vec<usize>>,
     violations: ViolationLog,
     vm: Vm,
     now: Nanos,
@@ -128,7 +174,7 @@ impl MonitorEngine {
             monitors: Vec::new(),
             names: HashMap::new(),
             timers: BinaryHeap::new(),
-            hooks: HashMap::new(),
+            hooks: FxHashMap::default(),
             violations: ViolationLog::default(),
             vm: Vm::new(),
             now: Nanos::ZERO,
@@ -328,7 +374,7 @@ impl MonitorEngine {
             }
             self.now = due;
             self.service_retrain_retries(due);
-            self.evaluate(midx, due, &[], TriggerKind::Timer);
+            self.evaluate(midx, due, &[], TriggerRef::Timer);
             let timer = self.monitors[midx].compiled.timers[tidx];
             let next = due + timer.interval;
             if next <= timer.stop {
@@ -387,17 +433,77 @@ impl MonitorEngine {
 
     /// Delivers a tracepoint firing to every guardrail attached to `hook`.
     pub fn on_function(&mut self, hook: &str, now: Nanos, args: &[f64]) {
-        self.now = self.now.max(now);
-        let Some(subscribers) = self.hooks.get(hook) else {
+        self.on_function_batch(hook, &[FnEvent { now, args }]);
+    }
+
+    /// Delivers a batch of tracepoint firings for one hook.
+    ///
+    /// Semantically identical to calling [`MonitorEngine::on_function`] once
+    /// per event in order — violation logs and store effects are
+    /// bit-identical — but the hook is resolved through the dispatch index
+    /// once, the wall clock is read twice per *batch* instead of twice per
+    /// evaluation, and no per-event allocations occur. The measured batch
+    /// wall time is apportioned across the evaluating monitors by their
+    /// evaluation counts (modelled fuel accounting is exact either way).
+    pub fn on_function_batch(&mut self, hook: &str, events: &[FnEvent<'_>]) {
+        if events.is_empty() {
             return;
-        };
-        let kind = TriggerKind::Function(hook.to_string());
-        for midx in subscribers.clone() {
-            self.evaluate(midx, now, args, kind.clone());
+        }
+        if !self.hooks.contains_key(hook) {
+            // No subscribers: the clock still advances, as it would have
+            // under sequential delivery.
+            let last = events.iter().map(|e| e.now).max().unwrap_or(self.now);
+            self.now = self.now.max(last);
+            return;
+        }
+        // Detach the subscriber list for the duration of the batch so
+        // `evaluate_inner` can borrow the engine mutably. Installs and
+        // uninstalls only happen between engine entry points, never inside
+        // an evaluation, so the list cannot change underneath us.
+        let subscribers = std::mem::take(self.hooks.get_mut(hook).expect("checked above"));
+        let evals_before: Vec<u64> = subscribers
+            .iter()
+            .map(|&m| self.monitors[m].overhead.evaluations)
+            .collect();
+        let started = std::time::Instant::now();
+        for event in events {
+            self.now = self.now.max(event.now);
+            for &midx in &subscribers {
+                self.evaluate_inner(midx, event.now, event.args, TriggerRef::Function(hook));
+            }
+        }
+        let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.stats.eval_wall_ns += wall_ns;
+        let evaluated: u64 = subscribers
+            .iter()
+            .zip(&evals_before)
+            .map(|(&m, &before)| self.monitors[m].overhead.evaluations - before)
+            .sum();
+        for (&midx, &before) in subscribers.iter().zip(&evals_before) {
+            let share = self.monitors[midx].overhead.evaluations - before;
+            if let Some(charge) = (wall_ns * share).checked_div(evaluated) {
+                self.monitors[midx].overhead.charge_wall(charge);
+            }
+        }
+        if let Some(list) = self.hooks.get_mut(hook) {
+            *list = subscribers;
         }
     }
 
-    fn evaluate(&mut self, midx: usize, now: Nanos, args: &[f64], trigger: TriggerKind) {
+    /// Timer-path evaluation wrapper: measures wall time around one
+    /// evaluation (the batch path measures once per batch instead).
+    fn evaluate(&mut self, midx: usize, now: Nanos, args: &[f64], trigger: TriggerRef<'_>) {
+        let evals_before = self.monitors[midx].overhead.evaluations;
+        let started = std::time::Instant::now();
+        self.evaluate_inner(midx, now, args, trigger);
+        if self.monitors[midx].overhead.evaluations > evals_before {
+            let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.stats.eval_wall_ns += wall_ns;
+            self.monitors[midx].overhead.charge_wall(wall_ns);
+        }
+    }
+
+    fn evaluate_inner(&mut self, midx: usize, now: Nanos, args: &[f64], trigger: TriggerRef<'_>) {
         if self.monitors[midx].retired {
             return;
         }
@@ -420,7 +526,6 @@ impl MonitorEngine {
                 .info(now, &name, "watchdog probation over, monitor re-enabled");
         }
         self.stats.evaluations += 1;
-        let started = std::time::Instant::now();
         let mut fuel = 0u64;
         let mut failed: Option<usize> = None;
         let mut fault: Option<String> = None;
@@ -464,8 +569,9 @@ impl MonitorEngine {
                 }
             }
         }
-        let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.monitors[midx].overhead.charge_rules(fuel, wall_ns);
+        // Wall time is charged by the caller (per evaluation on the timer
+        // path, per batch on the function path); fuel is charged here.
+        self.monitors[midx].overhead.charge_rules(fuel, 0);
 
         if let Some(reason) = fault {
             self.on_rule_fault(midx, now, args, &reason);
@@ -489,7 +595,7 @@ impl MonitorEngine {
             guardrail: name,
             rule_index,
             rule_source,
-            trigger,
+            trigger: trigger.to_kind(),
             actions_fired: fire,
         });
         if fire {
@@ -730,8 +836,18 @@ impl MonitorEngine {
 
     /// Drains the deferred-command outbox (apply these with your subsystem's
     /// [`simkernel::TaskControl`] / model owner).
+    ///
+    /// Allocates a fresh `Vec` per call; event loops that poll every tick
+    /// should prefer [`MonitorEngine::drain_commands_into`].
     pub fn drain_commands(&mut self) -> Vec<(Nanos, Command)> {
         self.outbox.drain()
+    }
+
+    /// Drains the deferred-command outbox into a caller-owned buffer,
+    /// avoiding the per-poll allocation of [`MonitorEngine::drain_commands`].
+    /// Commands are appended oldest first; the buffer is not cleared.
+    pub fn drain_commands_into(&mut self, buf: &mut Vec<(Nanos, Command)>) {
+        self.outbox.drain_into(buf);
     }
 
     /// Snapshot of recorded violations, oldest first.

@@ -44,6 +44,22 @@ impl OverheadAccount {
         self.wall_ns += wall_ns;
     }
 
+    /// Charges measured wall time without counting an evaluation (the
+    /// engine's batch ingestion path reads the clock once per batch and
+    /// apportions the elapsed time afterwards).
+    pub fn charge_wall(&mut self, wall_ns: u64) {
+        self.wall_ns += wall_ns;
+    }
+
+    /// Mean measured wall time per evaluation, in nanoseconds.
+    pub fn mean_eval_ns(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.wall_ns as f64 / self.evaluations as f64
+        }
+    }
+
     /// Charges one action dispatch.
     pub fn charge_action(&mut self, fuel: u64) {
         self.actions_dispatched += 1;

@@ -1,0 +1,138 @@
+//! Fast, non-cryptographic string hashing for the store hot path.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is DoS-resistant but costs
+//! tens of nanoseconds per short key — material when every `SAVE`/`LOAD` in
+//! the monitor hot path hashes its key twice (shard selection + map lookup).
+//! Feature-store keys come from compiled guardrail specs and instrumented
+//! kernel code, not from untrusted input, so a multiply-xor hash in the
+//! Firefox/rustc "Fx" style is safe here and several times faster.
+//!
+//! The same 64-bit hash drives both shard selection (top bits, folded onto
+//! the shard mask) and the per-shard map (via [`FxBuildHasher`]), so a store
+//! operation pays for exactly one pass over the key bytes.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash family (Firefox / rustc): a 64-bit constant
+/// derived from the golden ratio, chosen to diffuse bits under wrapping
+/// multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-xor hasher for trusted (non-adversarial) keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" (as raw byte writes)
+            // cannot collide trivially.
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Hashes a key the same way the per-shard maps do (one pass over the
+/// bytes); used for shard selection so the bytes are only walked once
+/// conceptually — and cheaply in practice.
+#[inline]
+pub fn hash_key(key: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(key.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        assert_eq!(hash_key("ml_enabled"), hash_key("ml_enabled"));
+        assert_ne!(hash_key("ml_enabled"), hash_key("ml_disabled"));
+        assert_ne!(hash_key(""), hash_key("a"));
+        assert_ne!(hash_key("a"), hash_key("a\0"));
+    }
+
+    #[test]
+    fn long_keys_use_all_bytes() {
+        let a = "x".repeat(64);
+        let mut b = a.clone();
+        b.replace_range(63..64, "y");
+        assert_ne!(hash_key(&a), hash_key(&b));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert(format!("key{i}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&format!("key{i}")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn spreads_across_low_bits() {
+        // Shard selection folds the hash onto a small mask; typical store
+        // keys must not all land in one shard.
+        use std::collections::HashSet;
+        let shards: HashSet<u64> = [
+            "ml_enabled",
+            "false_submit_rate",
+            "sched.wait_p99",
+            "io.lat",
+            "retrain.count",
+            "slot.learned",
+            "poison_count",
+            "mem.rss",
+        ]
+        .iter()
+        .map(|k| hash_key(k) >> 60)
+        .collect();
+        assert!(
+            shards.len() >= 4,
+            "keys clump into {} shard(s)",
+            shards.len()
+        );
+    }
+}

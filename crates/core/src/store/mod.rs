@@ -12,14 +12,13 @@
 
 pub mod durable;
 pub mod ewma;
+pub mod fxhash;
 pub mod histogram;
 pub mod snapshot;
 pub mod wal;
 pub mod window;
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,6 +27,7 @@ use simkernel::Nanos;
 
 use crate::spec::ast::AggKind;
 use ewma::Ewma;
+use fxhash::{hash_key, FxBuildHasher};
 use histogram::Histogram;
 use window::WindowSeries;
 
@@ -46,7 +46,11 @@ pub trait SaveJournal: Send + Sync + std::fmt::Debug {
 
 /// Number of lock shards; power of two, sized for low contention at the
 /// handful-of-writer-threads scale of an OS's instrumented subsystems.
+/// Power-of-two lets shard selection mask instead of divide.
 const SHARDS: usize = 16;
+
+/// A per-shard key map, keyed by the fast hasher (see [`fxhash`]).
+type ShardMap = HashMap<String, Entry, FxBuildHasher>;
 
 #[derive(Debug)]
 enum Entry {
@@ -81,7 +85,7 @@ enum Entry {
 /// ```
 #[derive(Debug)]
 pub struct FeatureStore {
-    shards: Vec<RwLock<HashMap<String, Entry>>>,
+    shards: Vec<RwLock<ShardMap>>,
     series_retention: Nanos,
     series_max_samples: usize,
     /// When set (the default), non-finite `SAVE`s are quarantined instead
@@ -93,6 +97,9 @@ pub struct FeatureStore {
     poisoned_total: AtomicU64,
     /// Optional write-ahead journal, called for accepted scalar writes.
     journal: RwLock<Option<Arc<dyn SaveJournal>>>,
+    /// Read-mostly fast flag mirroring `journal.is_some()`: the common
+    /// no-journal store skips the journal rwlock entirely on every write.
+    journal_attached: AtomicBool,
 }
 
 impl Default for FeatureStore {
@@ -113,26 +120,35 @@ impl FeatureStore {
     /// Creates a store whose auto-created series use the given bounds.
     pub fn with_series_bounds(retention: Nanos, max_samples: usize) -> Self {
         FeatureStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(ShardMap::default()))
+                .collect(),
             series_retention: retention,
             series_max_samples: max_samples,
             quarantine: AtomicBool::new(true),
             poisoned: RwLock::new(HashMap::new()),
             poisoned_total: AtomicU64::new(0),
             journal: RwLock::new(None),
+            journal_attached: AtomicBool::new(false),
         }
     }
 
     /// Attaches (or detaches, with `None`) the write-ahead journal hook.
     /// See [`SaveJournal`] for the ordering contract.
     pub fn set_journal(&self, journal: Option<Arc<dyn SaveJournal>>) {
-        *self.journal.write() = journal;
+        let mut guard = self.journal.write();
+        // Flip the fast flag while holding the journal lock so a writer
+        // that sees the flag set always finds the journal present.
+        self.journal_attached
+            .store(journal.is_some(), Ordering::Release);
+        *guard = journal;
     }
 
-    fn shard(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+    /// Shard selection: one fast hash over the key, folded onto the shard
+    /// mask from the *upper* bits so it stays decorrelated from the low
+    /// bits the per-shard map uses for its buckets.
+    fn shard(&self, key: &str) -> &RwLock<ShardMap> {
+        &self.shards[(hash_key(key) >> (64 - 4)) as usize & (SHARDS - 1)]
     }
 
     /// `SAVE(key, value)`: writes a scalar, replacing any existing entry.
@@ -148,10 +164,19 @@ impl FeatureStore {
             return;
         }
         let mut guard = self.shard(key).write();
-        if let Some(journal) = self.journal.read().as_ref() {
-            journal.record_save(key, value);
+        if self.journal_attached.load(Ordering::Acquire) {
+            if let Some(journal) = self.journal.read().as_ref() {
+                journal.record_save(key, value);
+            }
         }
-        guard.insert(key.to_string(), Entry::Scalar(value));
+        // Overwrite in place when the key exists — the steady-state path —
+        // so repeated SAVEs to a hot key never re-allocate the key string.
+        match guard.get_mut(key) {
+            Some(entry) => *entry = Entry::Scalar(value),
+            None => {
+                guard.insert(key.to_string(), Entry::Scalar(value));
+            }
+        }
     }
 
     /// Enables or disables the non-finite `SAVE` quarantine (on by default;
@@ -197,20 +222,33 @@ impl FeatureStore {
     /// the new value.
     pub fn incr(&self, key: &str, by: f64) -> f64 {
         let mut guard = self.shard(key).write();
-        let entry = guard.entry(key.to_string()).or_insert(Entry::Scalar(0.0));
-        // Counting into a structured entry replaces it; mixed usage of one
-        // key is a spec bug, and scalar-wins keeps it visible.
-        let new = match entry {
-            Entry::Scalar(v) => *v + by,
-            _ => by,
-        };
-        // Journal the post-state before applying (write-ahead ordering);
-        // post-state frames keep replay idempotent even for counters.
-        if let Some(journal) = self.journal.read().as_ref() {
-            journal.record_save(key, new);
+        // Look up without allocating; only a first-touch insert pays for
+        // the key string. Counting into a structured entry replaces it;
+        // mixed usage of one key is a spec bug, and scalar-wins keeps it
+        // visible. The journal sees the post-state before it is applied
+        // (write-ahead ordering); post-state frames keep replay idempotent
+        // even for counters.
+        if let Some(entry) = guard.get_mut(key) {
+            let new = match entry {
+                Entry::Scalar(v) => *v + by,
+                _ => by,
+            };
+            if self.journal_attached.load(Ordering::Acquire) {
+                if let Some(journal) = self.journal.read().as_ref() {
+                    journal.record_save(key, new);
+                }
+            }
+            *entry = Entry::Scalar(new);
+            new
+        } else {
+            if self.journal_attached.load(Ordering::Acquire) {
+                if let Some(journal) = self.journal.read().as_ref() {
+                    journal.record_save(key, by);
+                }
+            }
+            guard.insert(key.to_string(), Entry::Scalar(by));
+            by
         }
-        *entry = Entry::Scalar(new);
-        new
     }
 
     /// `RECORD(key, value)`: appends a timestamped sample to a windowed

@@ -1,0 +1,252 @@
+//! Property test: the engine's batched ingestion path is *observationally
+//! identical* to the sequential path. `on_function_batch(hook, events)`
+//! must produce the same violation log, the same store state, the same
+//! deferred commands, and the same deterministic stats as N sequential
+//! `on_function` calls — for any event history and any chunking of it into
+//! batches, including a checkpoint/restore in the middle.
+//!
+//! The only permitted divergence is measured wall time (`eval_wall_ns` and
+//! the per-monitor `wall_ns`): the batch path reads the clock once per
+//! batch instead of once per evaluation, and wall time is machine noise by
+//! definition. Everything a decision, a report, or a replay can observe is
+//! bit-identical.
+
+use std::sync::Arc;
+
+use guardrails::monitor::engine::{EngineStats, FnEvent, MonitorEngine};
+use guardrails::PolicyRegistry;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simkernel::Nanos;
+
+/// Two monitors on the hot hook (one argument-driven, one store-driven,
+/// with actions that feed back into the store) plus a bystander on another
+/// hook, so dispatch-index lookups are exercised with misses.
+const SPECS: &str = r#"
+guardrail io-bound {
+    trigger: { FUNCTION(io_submit) },
+    rule: { ARG(0) <= 4096 },
+    action: { SAVE(io_size, ARG(0)) RECORD(oversized, 1) }
+}
+guardrail queue-sane {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(qdepth) < 32 },
+    action: { RECORD(qdepth_violations, 1) }
+}
+guardrail bystander {
+    trigger: { FUNCTION(other_hook) },
+    rule: { ARG(0) < 1 },
+    action: { RECORD(bystander_hits, 1) }
+}
+"#;
+
+fn fresh_engine() -> MonitorEngine {
+    let registry = Arc::new(PolicyRegistry::new());
+    let mut engine = MonitorEngine::with_parts(Arc::new(guardrails::FeatureStore::new()), registry);
+    engine.install_str(SPECS).unwrap();
+    engine
+}
+
+/// One generated event: a time step, the hook argument, and a store write
+/// performed just before ingestion (so the store-driven rule sees evolving
+/// state).
+#[derive(Clone, Debug)]
+struct Step {
+    dt_us: u64,
+    arg: f64,
+    qdepth: f64,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    vec(
+        (1u64..500, 0.0f64..10_000.0, 0.0f64..64.0).prop_map(|(dt_us, arg, qdepth)| Step {
+            dt_us,
+            arg,
+            qdepth,
+        }),
+        0..60,
+    )
+}
+
+/// Everything observable about an engine run except wall-clock noise.
+#[derive(Debug, PartialEq)]
+struct Observable {
+    violations: Vec<guardrails::monitor::Violation>,
+    scalars: Vec<(String, f64)>,
+    total_violations: u64,
+    stats: EngineStats,
+}
+
+fn observe(engine: &MonitorEngine) -> Observable {
+    let mut scalars = engine.store().scalars();
+    scalars.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut stats = engine.stats();
+    stats.eval_wall_ns = 0; // machine noise, excluded by design
+    Observable {
+        violations: engine.violations(),
+        scalars,
+        total_violations: engine.violation_log().total(),
+        stats,
+    }
+}
+
+/// Drives `engine` through `steps` sequentially: one `on_function` per event.
+fn run_sequential(engine: &mut MonitorEngine, steps: &[Step], start: Nanos) -> Nanos {
+    let store = engine.store();
+    let mut now = start;
+    for step in steps {
+        now += Nanos::from_micros(step.dt_us);
+        store.save("qdepth", step.qdepth);
+        engine.on_function("io_submit", now, &[step.arg]);
+    }
+    now
+}
+
+/// Drives `engine` through `steps` in batches split at `cuts`. Store writes
+/// still happen per event *before* the batch containing it is ingested —
+/// batching only makes sense for events whose inputs are already in place,
+/// so each batch's store writes are applied first, exactly as a subsystem
+/// draining a ring buffer would.
+fn run_batched(engine: &mut MonitorEngine, steps: &[Step], cuts: &[usize], start: Nanos) -> Nanos {
+    let store = engine.store();
+    let mut now = start;
+    let mut begin = 0usize;
+    let mut boundaries: Vec<usize> = cuts.iter().map(|&c| c % (steps.len() + 1)).collect();
+    boundaries.push(steps.len());
+    boundaries.sort_unstable();
+    for &end in &boundaries {
+        if end <= begin {
+            continue;
+        }
+        let chunk = &steps[begin..end];
+        // Store writes for the chunk land first; within a chunk the
+        // store-driven rule therefore sees the *last* write, which is why
+        // the sequential run below applies the same convention.
+        let mut times = Vec::with_capacity(chunk.len());
+        for step in chunk {
+            now += Nanos::from_micros(step.dt_us);
+            store.save("qdepth", step.qdepth);
+            times.push(now);
+        }
+        let args: Vec<[f64; 1]> = chunk.iter().map(|s| [s.arg]).collect();
+        let events: Vec<FnEvent<'_>> = times
+            .iter()
+            .zip(&args)
+            .map(|(&t, a)| FnEvent { now: t, args: a })
+            .collect();
+        engine.on_function_batch("io_submit", &events);
+        begin = end;
+    }
+    now
+}
+
+/// Sequential run, but with store writes applied chunk-first so it observes
+/// the same store states as the batched run (the equivalence contract is
+/// "same inputs, same outputs", not "batching reorders your writes").
+fn run_sequential_chunked(
+    engine: &mut MonitorEngine,
+    steps: &[Step],
+    cuts: &[usize],
+    start: Nanos,
+) -> Nanos {
+    let store = engine.store();
+    let mut now = start;
+    let mut begin = 0usize;
+    let mut boundaries: Vec<usize> = cuts.iter().map(|&c| c % (steps.len() + 1)).collect();
+    boundaries.push(steps.len());
+    boundaries.sort_unstable();
+    for &end in &boundaries {
+        if end <= begin {
+            continue;
+        }
+        let chunk = &steps[begin..end];
+        let mut times = Vec::with_capacity(chunk.len());
+        for step in chunk {
+            now += Nanos::from_micros(step.dt_us);
+            store.save("qdepth", step.qdepth);
+            times.push(now);
+        }
+        for (step, &t) in chunk.iter().zip(&times) {
+            engine.on_function("io_submit", t, &[step.arg]);
+        }
+        begin = end;
+    }
+    now
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_ingestion_is_observationally_identical_to_sequential(
+        steps in steps(),
+        cuts in vec(0usize..61, 0..6),
+    ) {
+        let mut sequential = fresh_engine();
+        let mut batched = fresh_engine();
+        run_sequential_chunked(&mut sequential, &steps, &cuts, Nanos::ZERO);
+        run_batched(&mut batched, &steps, &cuts, Nanos::ZERO);
+        prop_assert_eq!(observe(&sequential), observe(&batched));
+        prop_assert_eq!(
+            sequential.drain_commands(),
+            batched.drain_commands(),
+            "deferred commands must match"
+        );
+    }
+
+    #[test]
+    fn single_event_batches_match_plain_on_function(steps in steps()) {
+        // Degenerate chunking: every batch holds exactly one event. This is
+        // the contract `on_function` itself relies on (it delegates to the
+        // batch path).
+        let mut sequential = fresh_engine();
+        let mut batched = fresh_engine();
+        let cuts: Vec<usize> = (0..=steps.len()).collect();
+        run_sequential(&mut sequential, &steps, Nanos::ZERO);
+        run_batched(&mut batched, &steps, &cuts, Nanos::ZERO);
+        prop_assert_eq!(observe(&sequential), observe(&batched));
+    }
+
+    #[test]
+    fn batch_equivalence_survives_checkpoint_restore(
+        first in steps(),
+        second in steps(),
+        cuts in vec(0usize..61, 0..4),
+    ) {
+        // Run the first half, checkpoint the batched engine, restore into a
+        // fresh engine sharing the same store, then run the second half.
+        // The restored engine must still match a sequential run that never
+        // restarted.
+        let mut sequential = fresh_engine();
+        let mut batched = fresh_engine();
+        let mid_seq = run_sequential_chunked(&mut sequential, &first, &cuts, Nanos::ZERO);
+        let mid_bat = run_batched(&mut batched, &first, &cuts, Nanos::ZERO);
+        prop_assert_eq!(mid_seq, mid_bat);
+
+        let checkpoint = batched.checkpoint();
+        let mut restored =
+            MonitorEngine::with_parts(batched.store(), batched.registry());
+        restored.install_str(SPECS).unwrap();
+        restored.advance_to(checkpoint.now);
+        restored.restore(&checkpoint).unwrap();
+
+        run_sequential_chunked(&mut sequential, &second, &cuts, mid_seq);
+        run_batched(&mut restored, &second, &cuts, mid_bat);
+
+        // The violation *log* does not cross a restart (it is in-memory
+        // telemetry; decisions persist via the store and checkpoint), so
+        // compare store state, stats, and post-restore behaviour instead.
+        let mut seq_obs = observe(&sequential);
+        let mut res_obs = observe(&restored);
+        // Restored log holds only post-restore violations; trim the
+        // sequential log to the same window for comparison.
+        let post = res_obs.violations.len();
+        seq_obs.violations = seq_obs.violations.split_off(seq_obs.violations.len() - post);
+        prop_assert_eq!(&seq_obs.violations, &res_obs.violations);
+        seq_obs.violations.clear();
+        res_obs.violations.clear();
+        seq_obs.total_violations = 0;
+        res_obs.total_violations = 0;
+        prop_assert_eq!(seq_obs, res_obs);
+    }
+}

@@ -20,6 +20,18 @@ fn open(backend: &Arc<MemBackend>) -> (DurableStore, RecoveryReport) {
     DurableStore::open(b, DurabilityConfig::default()).unwrap()
 }
 
+fn open_grouped(backend: &Arc<MemBackend>, group: usize) -> (DurableStore, RecoveryReport) {
+    let b: Arc<dyn PersistBackend> = backend.clone();
+    DurableStore::open(
+        b,
+        DurabilityConfig {
+            group_commit: group,
+            ..DurabilityConfig::default()
+        },
+    )
+    .unwrap()
+}
+
 fn sorted_scalars(store: &FeatureStore) -> Vec<(String, f64)> {
     let mut scalars = store.scalars();
     scalars.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
@@ -124,6 +136,91 @@ proptest! {
             is_prefix,
             "recovered state {recovered:?} is not a prefix of the history"
         );
+    }
+
+    #[test]
+    fn group_commit_replay_matches_the_history_for_any_group_size(
+        writes in vec((0usize..KEYS.len(), -1e6f64..1e6), 0..40),
+        group in 1usize..9,
+    ) {
+        let backend = Arc::new(MemBackend::new());
+        {
+            let (durable, _) = open_grouped(&backend, group);
+            apply(&durable.store(), &writes);
+            // Drop flushes the in-flight group: an orderly shutdown loses
+            // nothing regardless of where the group boundary fell.
+        }
+        let first = {
+            let (durable, report) = open_grouped(&backend, group);
+            prop_assert!(!report.tainted());
+            prop_assert_eq!(report.wal_records_applied, writes.len() as u64);
+            sorted_scalars(&durable.store())
+        };
+        prop_assert_eq!(&first, &model(&writes));
+        // Replaying a grouped log is as idempotent as a plain one.
+        let second = {
+            let (durable, _) = open_grouped(&backend, group);
+            sorted_scalars(&durable.store())
+        };
+        prop_assert_eq!(second, first);
+    }
+
+    #[test]
+    fn a_torn_tail_under_group_commit_loses_whole_groups_only(
+        writes in vec((0usize..KEYS.len(), -1e6f64..1e6), 1..30),
+        group in 2usize..6,
+        tear in 1usize..600,
+    ) {
+        let backend = Arc::new(MemBackend::new());
+        {
+            let (durable, _) = open_grouped(&backend, group);
+            apply(&durable.store(), &writes);
+        }
+        backend.tear_wal_tail(tear);
+        let (durable, report) = open_grouped(&backend, group);
+        prop_assert!(!report.tainted());
+        let recovered = sorted_scalars(&durable.store());
+        // The recovered state must sit on a *group* boundary of the history
+        // (or be the complete history): a tear never splits a group.
+        let boundaries = (0..=writes.len())
+            .filter(|k| k % group == 0 || *k == writes.len());
+        let mut on_boundary = false;
+        for k in boundaries {
+            if recovered == model(&writes[..k]) {
+                on_boundary = true;
+                break;
+            }
+        }
+        prop_assert!(
+            on_boundary,
+            "recovered state {recovered:?} does not sit on a group boundary"
+        );
+    }
+
+    #[test]
+    fn compaction_under_group_commit_recovers_the_same_state(
+        writes in vec((0usize..KEYS.len(), -1e6f64..1e6), 1..40),
+        group in 1usize..6,
+        cut in 0usize..40,
+    ) {
+        let cut = cut % (writes.len() + 1);
+        let plain = Arc::new(MemBackend::new());
+        {
+            let (durable, _) = open(&plain);
+            apply(&durable.store(), &writes);
+        }
+        let grouped = Arc::new(MemBackend::new());
+        {
+            let (durable, _) = open_grouped(&grouped, group);
+            let store = durable.store();
+            apply(&store, &writes[..cut]);
+            durable.compact().unwrap();
+            apply(&store, &writes[cut..]);
+        }
+        let (a, _) = open(&plain);
+        let (b, report) = open_grouped(&grouped, group);
+        prop_assert!(!report.tainted());
+        prop_assert_eq!(sorted_scalars(&a.store()), sorted_scalars(&b.store()));
     }
 
     #[test]

@@ -160,6 +160,9 @@ pub fn run_tiering_sim(config: TieringSimConfig) -> TieringReport {
     let mut window_total = 0u64;
     let mut retrain_left = 0u64;
     let mut retrained = false;
+    // Reused command buffer: the periodic drain is almost always empty and
+    // must not allocate per poll.
+    let mut cmd_buf = Vec::new();
 
     while tick < total {
         tick += 1;
@@ -255,7 +258,8 @@ pub fn run_tiering_sim(config: TieringSimConfig) -> TieringReport {
             window_hits = 0;
             window_total = 0;
             engine.advance_to(now);
-            for (_, command) in engine.drain_commands() {
+            engine.drain_commands_into(&mut cmd_buf);
+            for (_, command) in cmd_buf.drain(..) {
                 if let Command::Retrain { model, .. } = command {
                     if model == "mem_policy" && learned.is_frozen() {
                         learned.begin_retrain();

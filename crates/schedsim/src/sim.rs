@@ -151,6 +151,9 @@ pub fn run_sched_sim(config: SchedSimConfig) -> SchedReport {
     let mut observed_max_wait: std::collections::HashMap<TaskId, Nanos> = Default::default();
 
     let mut next_decay = config.decay_every;
+    // Reused command buffer: the engine is polled every publish tick and is
+    // almost always empty, so draining must not allocate per poll.
+    let mut cmd_buf = Vec::new();
 
     while now < config.duration {
         // Decay applied demotions back toward each task's base priority, so
@@ -189,7 +192,8 @@ pub fn run_sched_sim(config: SchedSimConfig) -> SchedReport {
             store.save("sched.jain", JainIndex::of(&shares));
             window_cpu.clear();
             engine.advance_to(now);
-            for (_, command) in engine.drain_commands() {
+            engine.drain_commands_into(&mut cmd_buf);
+            for (_, command) in cmd_buf.drain(..) {
                 if let Command::Deprioritize { target, steps, .. } = command {
                     let victim = if target == "sched.dominant" {
                         store.load("sched.dominant").map(|v| TaskId(v as u64))

@@ -371,6 +371,8 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
     let mut retrains_applied = 0u64;
     let mut healthy_lat = (0u64, 0u64); // (sum ns, ios)
     let mut post_fault_lat = (0u64, 0u64);
+    // Reused command buffer: drained every I/O, almost always empty.
+    let mut cmd_buf = Vec::new();
 
     loop {
         let now = workload.next_arrival();
@@ -455,7 +457,8 @@ pub fn run_fault_scenario(kind: FaultKind, hardened: bool, seed: u64) -> FaultRu
 
         // Drain deferred commands; the only one these scenarios emit is
         // RETRAIN, executed on the (possibly unprotected) async worker.
-        for (_, command) in engine.drain_commands() {
+        engine.drain_commands_into(&mut cmd_buf);
+        for (_, command) in cmd_buf.drain(..) {
             if let Command::Retrain { model, .. } = command {
                 if let Some(retrainer) = &retrainer {
                     let poisoned =
