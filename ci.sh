@@ -5,7 +5,23 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --workspace
-cargo test -q --workspace
+
+# Run the whole workspace's tests and compare the total against the
+# committed baseline: a shrinking count means coverage silently regressed,
+# a growing one means the baseline needs a (reviewed) bump. Either way the
+# delta is printed so it is visible in CI logs.
+test_log="$(mktemp)"
+cargo test -q --workspace 2>&1 | tee "$test_log"
+test_count="$(awk '/^test result:/ { total += $4 } END { print total + 0 }' "$test_log")"
+rm -f "$test_log"
+baseline="$(cat results/test_count.txt)"
+echo "workspace tests: ${test_count} (baseline ${baseline}, delta $((test_count - baseline)))"
+if [ "${test_count}" -ne "${baseline}" ]; then
+    echo "test count moved from ${baseline} to ${test_count}: update" \
+         "results/test_count.txt if the change is intentional." >&2
+    exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 
@@ -30,6 +46,17 @@ cargo bench -p gr-bench >/dev/null
 cargo run --release -p gr-bench --bin exp_hotpath >/dev/null
 git diff --exit-code -- results/exp_hotpath.csv || {
     echo "exp_hotpath.csv changed: E11 is no longer deterministic (or the" \
+         "committed results are stale — rerun and commit them)." >&2
+    exit 1
+}
+
+# E12 determinism + telemetry invariants: the binary asserts telemetry-on
+# ingestion stays within 3% of telemetry-off with bit-identical outputs,
+# and that the overhead-budget guardrail demotes the hog monitor; its CSV
+# holds only deterministic counters and must be byte-identical every run.
+cargo run --release -p gr-bench --bin exp_telemetry >/dev/null
+git diff --exit-code -- results/exp_telemetry.csv || {
+    echo "exp_telemetry.csv changed: E12 is no longer deterministic (or the" \
          "committed results are stale — rerun and commit them)." >&2
     exit 1
 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use guardrails::monitor::{Hysteresis, MonitorEngine};
 use guardrails::policy::{PolicyRegistry, VARIANT_FALLBACK, VARIANT_LEARNED};
+use guardrails::{Telemetry, TelemetrySnapshot};
 use simkernel::Nanos;
 
 use crate::cache::{Cache, EvictionPolicy};
@@ -73,6 +74,8 @@ pub struct CacheReport {
     pub violations: usize,
     /// Whether the learned variant was active at the end.
     pub learned_active_at_end: bool,
+    /// Deterministic engine telemetry counters for the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Nanoseconds per access (drives the TIMER trigger).
@@ -92,6 +95,8 @@ pub fn run_cache_sim(config: CacheSimConfig) -> CacheReport {
         Arc::new(guardrails::FeatureStore::new()),
         Arc::clone(&registry),
     );
+    let telemetry = Telemetry::new();
+    engine.set_telemetry(Arc::clone(&telemetry));
     if config.with_guardrail {
         engine
             .install_str(P4_CACHE_GUARDRAIL)
@@ -218,6 +223,7 @@ pub fn run_cache_sim(config: CacheSimConfig) -> CacheReport {
         shadow_random_phase2: 0.0_f64.max(shadow_random.hit_rate()),
         violations: engine.violations().len(),
         learned_active_at_end: registry.is_active("cache_policy", VARIANT_LEARNED),
+        telemetry: telemetry.snapshot(),
     }
 }
 
@@ -283,5 +289,6 @@ mod tests {
         let b = run(true);
         assert_eq!(a.phase2_tail_hit_rate, b.phase2_tail_hit_rate);
         assert_eq!(a.violations, b.violations);
+        assert_eq!(a.telemetry, b.telemetry, "telemetry counters determinize");
     }
 }

@@ -350,6 +350,39 @@ impl Program {
         self.ops.iter().map(|op| op.cost()).sum()
     }
 
+    /// Renders the fused fast stream as a numbered listing, the companion
+    /// to the `Display` impl's base-op listing (used by the compiler golden
+    /// tests). Returns the empty string when fusion has not run.
+    pub fn fused_listing(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (i, op) in self.fused.iter().enumerate() {
+            let rendered = match op {
+                FusedOp::LoadCmpConst { key, cmp, constant } => format!(
+                    "load.cmp {} {} {constant}",
+                    self.key(*key),
+                    format!("{:?}", cmp.op()).to_lowercase()
+                ),
+                FusedOp::ArgCmpConst { arg, cmp, constant } => format!(
+                    "arg.cmp {arg} {} {constant}",
+                    format!("{:?}", cmp.op()).to_lowercase()
+                ),
+                FusedOp::LoadArithConst {
+                    key,
+                    arith,
+                    constant,
+                } => format!(
+                    "load.arith {} {} {constant}",
+                    self.key(*key),
+                    format!("{:?}", arith.op()).to_lowercase()
+                ),
+                FusedOp::Plain(op) => format!("plain {op:?}").to_lowercase(),
+            };
+            let _ = writeln!(out, "{i:4}: {rendered}");
+        }
+        out
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.ops.len()

@@ -26,6 +26,10 @@
 //!    counters, EWMA, and histograms (§4.3).
 //! 6. [`props`] — synthesized guardrail templates for the paper's property
 //!    taxonomy P1–P6 (Figure 1).
+//! 7. [`telemetry`] — the runtime's own observability: a metrics registry,
+//!    a lock-free trace ring, and self-monitoring via the reserved
+//!    `__telemetry/` feature-store namespace (property P5 over the monitor
+//!    collection itself).
 //!
 //! # Examples
 //!
@@ -70,6 +74,7 @@ pub mod props;
 pub mod spec;
 pub mod stats;
 pub mod store;
+pub mod telemetry;
 pub mod vm;
 
 pub use error::GuardrailError;
@@ -79,3 +84,4 @@ pub use monitor::supervisor::{Supervisor, SupervisorConfig};
 pub use policy::{FallbackPolicy, GuardedPolicy, LearnedPolicy, PolicyRegistry};
 pub use store::durable::{DurabilityConfig, DurableStore, MemBackend, PersistBackend};
 pub use store::FeatureStore;
+pub use telemetry::{Telemetry, TelemetrySnapshot};

@@ -20,6 +20,9 @@ use crate::monitor::violation::{TriggerKind, Violation, ViolationLog};
 use crate::policy::PolicyRegistry;
 use crate::store::fxhash::FxHashMap;
 use crate::store::FeatureStore;
+use crate::telemetry::{
+    ActionKind, Telemetry, TelemetryDelta, TraceKind, NO_MONITOR, RESERVED_PREFIX,
+};
 use crate::vm::{DeltaState, EvalCtx, Vm};
 
 /// An opaque handle to an installed monitor.
@@ -112,6 +115,10 @@ struct Monitor {
     watchdog_tripped: bool,
     /// When set, a tripped monitor is re-enabled at this time.
     probation_until: Option<Nanos>,
+    /// Whether every rule program has a fused fast stream (cached at
+    /// install so the telemetry fused-vs-fallback split costs nothing on
+    /// the hot path).
+    all_fused: bool,
 }
 
 /// The guardrail monitor engine.
@@ -145,6 +152,20 @@ pub struct MonitorEngine {
     /// verifier's static bound still applies regardless).
     rule_fuel_limit: Option<u64>,
     pending_retrains: Vec<PendingRetrain>,
+    /// Optional observability bundle. `None` (the default) keeps the hot
+    /// path exactly as before: one pointer-is-none check per site.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Plain-integer counter accumulator, flushed to the attached
+    /// telemetry's atomics at the end of every engine entry point. Bumped
+    /// unconditionally (register adds), so the telemetry-off hot path pays
+    /// nothing measurable and the telemetry-on path avoids per-evaluation
+    /// atomic RMWs.
+    tdelta: TelemetryDelta,
+    /// When set, `advance_to` republishes telemetry into the store's
+    /// reserved namespace at this cadence (default off: published values
+    /// include wall time, which deterministic hosts must opt into).
+    publish_interval: Option<Nanos>,
+    next_publish: Nanos,
 }
 
 impl Default for MonitorEngine {
@@ -182,7 +203,34 @@ impl MonitorEngine {
             resilience: ResilienceConfig::default(),
             rule_fuel_limit: None,
             pending_retrains: Vec::new(),
+            telemetry: None,
+            tdelta: TelemetryDelta::default(),
+            publish_interval: None,
+            next_publish: Nanos::ZERO,
         }
+    }
+
+    /// Attaches an observability bundle. Counters and trace events are
+    /// recorded from this point on; pass a bundle shared with the durable
+    /// store's host to get WAL metrics in the same registry.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.clone()
+    }
+
+    /// Enables (or, with `None`, disables) periodic self-publication: every
+    /// `interval` of simulated time, `advance_to` calls
+    /// [`MonitorEngine::publish_telemetry`]. Off by default — published
+    /// values include measured wall time, so hosts that gate on
+    /// byte-identical store contents must leave this off and publish at
+    /// explicit points instead.
+    pub fn set_telemetry_publish_interval(&mut self, interval: Option<Nanos>) {
+        self.publish_interval = interval;
+        self.next_publish = self.now;
     }
 
     /// Replaces the retrain rate-limiting policy.
@@ -264,6 +312,7 @@ impl MonitorEngine {
         }
         let rule_deltas = vec![DeltaState::default(); compiled.rules.len()];
         let action_deltas = vec![DeltaState::default(); compiled.actions.len()];
+        let all_fused = compiled.rules.iter().all(|r| !r.program.fused.is_empty());
         self.monitors.push(Monitor {
             compiled,
             rule_deltas,
@@ -275,6 +324,7 @@ impl MonitorEngine {
             consecutive_faults: 0,
             watchdog_tripped: false,
             probation_until: None,
+            all_fused,
         });
         Ok(MonitorId(idx))
     }
@@ -383,6 +433,12 @@ impl MonitorEngine {
         }
         self.now = self.now.max(now);
         self.service_retrain_retries(self.now);
+        if let Some(interval) = self.publish_interval {
+            if self.now >= self.next_publish {
+                self.publish_telemetry();
+                self.next_publish = self.now + interval;
+            }
+        }
     }
 
     /// Re-requests pending `RETRAIN`s whose backoff has elapsed; emits the
@@ -465,6 +521,16 @@ impl MonitorEngine {
             .iter()
             .map(|&m| self.monitors[m].overhead.evaluations)
             .collect();
+        if let Some(t) = &self.telemetry {
+            t.m.batches.inc();
+            t.m.batch_events.add(events.len() as u64);
+            t.mark(
+                self.now,
+                TraceKind::EvalStart,
+                NO_MONITOR,
+                events.len() as f64,
+            );
+        }
         let started = std::time::Instant::now();
         for event in events {
             self.now = self.now.max(event.now);
@@ -474,6 +540,11 @@ impl MonitorEngine {
         }
         let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         self.stats.eval_wall_ns += wall_ns;
+        if let Some(t) = &self.telemetry {
+            t.m.eval_wall_ns.add(wall_ns);
+            t.m.eval_wall_hist.observe(wall_ns);
+            t.mark(self.now, TraceKind::EvalEnd, NO_MONITOR, wall_ns as f64);
+        }
         let evaluated: u64 = subscribers
             .iter()
             .zip(&evals_before)
@@ -488,19 +559,42 @@ impl MonitorEngine {
         if let Some(list) = self.hooks.get_mut(hook) {
             *list = subscribers;
         }
+        self.flush_telemetry_delta();
+    }
+
+    /// Flushes the accumulated counter delta into the attached telemetry
+    /// (discarding it when none is attached). Runs at the end of every
+    /// evaluating entry point, so totals are exact at every API boundary.
+    #[inline]
+    fn flush_telemetry_delta(&mut self) {
+        let delta = std::mem::take(&mut self.tdelta);
+        if let Some(t) = &self.telemetry {
+            delta.apply(&t.m);
+        }
     }
 
     /// Timer-path evaluation wrapper: measures wall time around one
     /// evaluation (the batch path measures once per batch instead).
     fn evaluate(&mut self, midx: usize, now: Nanos, args: &[f64], trigger: TriggerRef<'_>) {
         let evals_before = self.monitors[midx].overhead.evaluations;
+        if let Some(t) = &self.telemetry {
+            t.mark(now, TraceKind::EvalStart, midx as u32, 1.0);
+        }
         let started = std::time::Instant::now();
         self.evaluate_inner(midx, now, args, trigger);
+        let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         if self.monitors[midx].overhead.evaluations > evals_before {
-            let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
             self.stats.eval_wall_ns += wall_ns;
             self.monitors[midx].overhead.charge_wall(wall_ns);
+            if let Some(t) = &self.telemetry {
+                t.m.eval_wall_ns.add(wall_ns);
+                t.m.eval_wall_hist.observe(wall_ns);
+            }
         }
+        if let Some(t) = &self.telemetry {
+            t.mark(now, TraceKind::EvalEnd, midx as u32, wall_ns as f64);
+        }
+        self.flush_telemetry_delta();
     }
 
     fn evaluate_inner(&mut self, midx: usize, now: Nanos, args: &[f64], trigger: TriggerRef<'_>) {
@@ -526,6 +620,12 @@ impl MonitorEngine {
                 .info(now, &name, "watchdog probation over, monitor re-enabled");
         }
         self.stats.evaluations += 1;
+        self.tdelta.evaluations += 1;
+        if self.monitors[midx].all_fused {
+            self.tdelta.fused_evals += 1;
+        } else {
+            self.tdelta.fallback_evals += 1;
+        }
         let mut fuel = 0u64;
         let mut failed: Option<usize> = None;
         let mut fault: Option<String> = None;
@@ -572,6 +672,7 @@ impl MonitorEngine {
         // Wall time is charged by the caller (per evaluation on the timer
         // path, per batch on the function path); fuel is charged here.
         self.monitors[midx].overhead.charge_rules(fuel, 0);
+        self.tdelta.rule_fuel += fuel;
 
         if let Some(reason) = fault {
             self.on_rule_fault(midx, now, args, &reason);
@@ -585,6 +686,10 @@ impl MonitorEngine {
             return;
         };
         self.stats.violations += 1;
+        self.tdelta.violations += 1;
+        if let Some(t) = &self.telemetry {
+            t.mark(now, TraceKind::Violation, midx as u32, rule_index as f64);
+        }
         let fire = self.monitors[midx].hysteresis.observe(true, now);
         let (name, rule_source) = {
             let m = &self.monitors[midx].compiled;
@@ -600,6 +705,7 @@ impl MonitorEngine {
         });
         if fire {
             self.stats.trips += 1;
+            self.tdelta.trips += 1;
             self.dispatch_actions(midx, now, args);
         }
     }
@@ -679,6 +785,14 @@ impl MonitorEngine {
         let name = self.monitors[midx].compiled.name.clone();
         for (aidx, action) in actions.iter().enumerate() {
             let mut fuel = 0u64;
+            let kind = match action {
+                CompiledAction::Report { .. } => ActionKind::Report,
+                CompiledAction::Replace { .. } => ActionKind::Replace,
+                CompiledAction::Retrain { .. } => ActionKind::Retrain,
+                CompiledAction::Deprioritize { .. } => ActionKind::Deprioritize,
+                CompiledAction::Save { .. } => ActionKind::Save,
+                CompiledAction::Record { .. } => ActionKind::Record,
+            };
             match action {
                 CompiledAction::Report { message, keys } => {
                     self.reports.report(now, &name, message, keys, &self.store);
@@ -831,6 +945,11 @@ impl MonitorEngine {
                 }
             }
             self.monitors[midx].overhead.charge_action(fuel);
+            self.tdelta.actions[kind as usize] += 1;
+            self.tdelta.action_fuel += fuel;
+            if let Some(t) = &self.telemetry {
+                t.mark(now, TraceKind::Action, midx as u32, kind as usize as f64);
+            }
         }
     }
 
@@ -865,6 +984,47 @@ impl MonitorEngine {
         self.stats
     }
 
+    /// Publishes the attached telemetry into the feature store's reserved
+    /// `__telemetry/` namespace: every registry metric (see
+    /// [`Telemetry::publish_registry`]), the store's own write counters,
+    /// and per-guardrail P5 accounts under
+    /// `__telemetry/guardrail/<name>/{evaluations,rule_fuel,action_fuel,
+    /// wall_ns,modeled_ns,overhead_fraction}`. The fraction is
+    /// `modeled_ns / now` — fuel-modeled, so it is deterministic and safe
+    /// for guardrail rules to `LOAD` (the measured `wall_ns` key is the
+    /// nondeterministic companion). No-op without telemetry attached.
+    pub fn publish_telemetry(&self) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        t.observe_store(&self.store);
+        t.publish_registry(&self.store);
+        let now_ns = self.now.as_nanos();
+        for m in &self.monitors {
+            if m.retired {
+                continue;
+            }
+            let base = format!("{RESERVED_PREFIX}guardrail/{}", m.compiled.name);
+            let o = &m.overhead;
+            let modeled_ns = o.modeled().as_nanos();
+            let fraction = if now_ns == 0 {
+                0.0
+            } else {
+                modeled_ns as f64 / now_ns as f64
+            };
+            for (suffix, value) in [
+                ("evaluations", o.evaluations as f64),
+                ("rule_fuel", o.rule_fuel as f64),
+                ("action_fuel", o.action_fuel as f64),
+                ("wall_ns", o.wall_ns as f64),
+                ("modeled_ns", modeled_ns as f64),
+                ("overhead_fraction", fraction),
+            ] {
+                self.store.save(&format!("{base}/{suffix}"), value);
+            }
+        }
+    }
+
     /// Per-monitor overhead accounts (P5).
     pub fn overhead_reports(&self) -> Vec<OverheadReport> {
         self.monitors
@@ -893,6 +1053,10 @@ impl MonitorEngine {
     /// checkpoint after `advance_to`/`on_function` returns — never
     /// mid-dispatch.
     pub fn checkpoint(&self) -> EngineCheckpoint {
+        if let Some(t) = &self.telemetry {
+            t.m.checkpoints.inc();
+            t.mark(self.now, TraceKind::Checkpoint, NO_MONITOR, 0.0);
+        }
         EngineCheckpoint {
             now: self.now,
             stats: self.stats,
@@ -944,6 +1108,10 @@ impl MonitorEngine {
         self.now = self.now.max(checkpoint.now);
         self.stats = checkpoint.stats;
         self.fast_forward_timers();
+        if let Some(t) = &self.telemetry {
+            t.m.restores.inc();
+            t.mark(self.now, TraceKind::Restart, NO_MONITOR, 0.0);
+        }
         Ok(())
     }
 
@@ -1693,6 +1861,79 @@ guardrail low-false-submit {
         engine.apply_runtime(&RuntimeConfig::hardened());
         assert!(engine.store().quarantine_enabled());
         assert_eq!(engine.resilience(), ResilienceConfig::hardened());
+    }
+
+    #[test]
+    fn telemetry_counters_and_trace_follow_the_engine() {
+        let t = Telemetry::new();
+        let mut engine = MonitorEngine::new();
+        engine.set_telemetry(Arc::clone(&t));
+        engine.install_str(LISTING_2).unwrap();
+        let store = engine.store();
+        store.save("false_submit_rate", 0.2); // Always violating.
+        engine.advance_to(Nanos::from_secs(2));
+        let snap = t.snapshot();
+        assert_eq!(snap.evaluations, 3, "ticks at 0, 1, 2");
+        assert_eq!(snap.violations, 3);
+        assert_eq!(snap.trips, 3);
+        assert!(snap.rule_fuel > 0);
+        assert!(snap.action_fuel > 0, "SAVE operand fuel counted");
+        assert_eq!(
+            snap.fused_evals + snap.fallback_evals,
+            snap.evaluations,
+            "every evaluation is classified"
+        );
+        assert_eq!(
+            snap.actions[ActionKind::Save as usize],
+            3,
+            "SAVE fired each tick"
+        );
+        let events = t.trace.snapshot();
+        assert!(events.iter().any(|e| e.kind == TraceKind::Violation));
+        assert!(events.iter().any(|e| e.kind == TraceKind::EvalEnd));
+        // Checkpoint/restore leave their own marks and counters.
+        let checkpoint = engine.checkpoint();
+        engine.restore(&checkpoint).unwrap();
+        assert_eq!(t.m.checkpoints.get(), 1);
+        assert_eq!(t.m.restores.get(), 1);
+        assert!(t
+            .trace
+            .snapshot()
+            .iter()
+            .any(|e| e.kind == TraceKind::Restart));
+    }
+
+    #[test]
+    fn publish_telemetry_exposes_loadable_reserved_keys() {
+        let t = Telemetry::new();
+        let mut engine = MonitorEngine::new();
+        engine.set_telemetry(Arc::clone(&t));
+        engine.install_str(LISTING_2).unwrap();
+        let store = engine.store();
+        store.save("false_submit_rate", 0.2);
+        engine.advance_to(Nanos::from_secs(2));
+        engine.publish_telemetry();
+        assert_eq!(store.load("__telemetry/engine/evaluations"), Some(3.0));
+        assert_eq!(
+            store.load("__telemetry/guardrail/low-false-submit/evaluations"),
+            Some(3.0)
+        );
+        let fraction = store
+            .load("__telemetry/guardrail/low-false-submit/overhead_fraction")
+            .unwrap();
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction = {fraction}");
+        // A guardrail can LOAD the published metric (string key syntax).
+        engine
+            .install_str(
+                r#"guardrail meta {
+                    trigger: { TIMER(2s, 1s) },
+                    rule: { LOAD("__telemetry/engine/evaluations") < 3 },
+                    action: { SAVE(meta_fired, 1) }
+                }"#,
+            )
+            .unwrap();
+        engine.advance_to(Nanos::from_secs(2));
+        assert_eq!(store.load("meta_fired"), Some(1.0), "meta-rule saw 3 >= 3");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::{GuardrailError, Result};
+use crate::telemetry::{is_reserved, LogHistogram};
 
 use super::snapshot::Snapshot;
 use super::wal::{decode_stream, encode_frame, encode_group_frame, WalRecord, WalStop};
@@ -248,6 +249,10 @@ pub struct RecoveryReport {
     pub wal_records_applied: u64,
     /// WAL records skipped because the snapshot already covered them.
     pub wal_records_skipped: u64,
+    /// WAL records skipped because they named a reserved `__telemetry/`
+    /// key (possible only in logs written before the namespace was
+    /// reserved; such observations must not resurrect as user state).
+    pub wal_records_reserved: u64,
     /// Replayed values quarantined for being non-finite.
     pub wal_records_quarantined: u64,
     /// Bytes of torn WAL tail discarded (crash mid-append).
@@ -285,9 +290,29 @@ struct WalAppender {
     /// Records buffered for the next group frame (empty when
     /// `group_commit == 1`).
     pending: Mutex<Vec<WalRecord>>,
+    /// Frame bytes appended to the backend since open (always counted; one
+    /// relaxed add per append, which is already a backend call).
+    bytes_appended: AtomicU64,
+    /// Backend append calls (frames) since open.
+    frames_appended: AtomicU64,
+    /// Distribution of records per appended frame (single-record frames
+    /// observe 1; group frames observe the group size).
+    group_hist: LogHistogram,
 }
 
 impl WalAppender {
+    /// Appends one encoded frame carrying `records` WAL records, updating
+    /// the always-on WAL metrics.
+    fn append_frame(&self, frame: &[u8], records: u64) {
+        self.bytes_appended
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.frames_appended.fetch_add(1, Ordering::Relaxed);
+        self.group_hist.observe(records);
+        if self.backend.append(Region::Wal, frame).is_err() {
+            self.append_failed.store(true, Ordering::Relaxed);
+        }
+    }
+
     /// Appends all buffered records as one group frame. No-op when the
     /// buffer is empty.
     fn flush(&self) {
@@ -296,10 +321,9 @@ impl WalAppender {
             return;
         }
         let frame = encode_group_frame(&pending);
+        let records = pending.len() as u64;
         pending.clear();
-        if self.backend.append(Region::Wal, &frame).is_err() {
-            self.append_failed.store(true, Ordering::Relaxed);
-        }
+        self.append_frame(&frame, records);
     }
 }
 
@@ -320,13 +344,7 @@ impl SaveJournal for WalAppender {
             value,
         };
         if self.group_commit <= 1 {
-            if self
-                .backend
-                .append(Region::Wal, &encode_frame(&record))
-                .is_err()
-            {
-                self.append_failed.store(true, Ordering::Relaxed);
-            }
+            self.append_frame(&encode_frame(&record), 1);
         } else {
             // Same-key writes are serialized by the store's shard lock, so
             // records for one key always land in the buffer in seq order;
@@ -337,10 +355,9 @@ impl SaveJournal for WalAppender {
             pending.push(record);
             if pending.len() >= self.group_commit {
                 let frame = encode_group_frame(&pending);
+                let records = pending.len() as u64;
                 pending.clear();
-                if self.backend.append(Region::Wal, &frame).is_err() {
-                    self.append_failed.store(true, Ordering::Relaxed);
-                }
+                self.append_frame(&frame, records);
             }
         }
         self.since_compact.fetch_add(1, Ordering::Relaxed);
@@ -383,6 +400,9 @@ impl DurableStore {
         report.snapshot_entries = snapshot.entries.len();
         let poisoned_before = store.poisoned_total();
         for (key, value) in &snapshot.entries {
+            if is_reserved(key) {
+                continue; // Legacy snapshot carrying telemetry observations.
+            }
             store.save(key, *value);
         }
 
@@ -397,6 +417,10 @@ impl DurableStore {
         for record in &decoded.records {
             if record.seq <= snapshot.seq {
                 report.wal_records_skipped += 1;
+            } else if is_reserved(&record.key) {
+                // Logs predating the reserved namespace may carry telemetry
+                // keys; observations never replay into user state.
+                report.wal_records_reserved += 1;
             } else {
                 store.save(&record.key, record.value);
                 report.wal_records_applied += 1;
@@ -417,6 +441,9 @@ impl DurableStore {
             append_failed: AtomicBool::new(false),
             group_commit: config.group_commit.max(1),
             pending: Mutex::new(Vec::new()),
+            bytes_appended: AtomicU64::new(0),
+            frames_appended: AtomicU64::new(0),
+            group_hist: LogHistogram::new(),
         });
         store.set_journal(Some(appender.clone()));
         Ok((
@@ -451,6 +478,21 @@ impl DurableStore {
         self.appender.append_failed.load(Ordering::Relaxed)
     }
 
+    /// WAL frame bytes appended to the backend since open.
+    pub fn wal_bytes_appended(&self) -> u64 {
+        self.appender.bytes_appended.load(Ordering::Relaxed)
+    }
+
+    /// WAL frames (backend append calls) since open.
+    pub fn wal_frames_appended(&self) -> u64 {
+        self.appender.frames_appended.load(Ordering::Relaxed)
+    }
+
+    /// Distribution of records per appended frame (group-commit sizes).
+    pub fn wal_group_hist(&self) -> &LogHistogram {
+        &self.appender.group_hist
+    }
+
     /// Records buffered for the next group frame but not yet durable.
     /// Always 0 when `group_commit <= 1`.
     pub fn pending_records(&self) -> usize {
@@ -473,10 +515,11 @@ impl DurableStore {
         // in the on-medium log, never parked in memory across a compact.
         self.appender.flush();
         let seq = self.seq();
-        let snapshot = Snapshot {
-            seq,
-            entries: self.store.scalars(),
-        };
+        // Reserved telemetry keys are process-lifetime observations; they
+        // never enter the WAL and must not enter snapshots either.
+        let mut entries = self.store.scalars();
+        entries.retain(|(key, _)| !is_reserved(key));
+        let snapshot = Snapshot { seq, entries };
         self.backend.replace(Region::Snapshot, &snapshot.encode())?;
         // Records appended after `seq` was read must survive the truncate:
         // rewrite the WAL keeping only frames with seq > snapshot seq.

@@ -100,6 +100,14 @@ pub struct FeatureStore {
     /// Read-mostly fast flag mirroring `journal.is_some()`: the common
     /// no-journal store skips the journal rwlock entirely on every write.
     journal_attached: AtomicBool,
+    /// Accepted scalar writes (`save`/`incr`), counted always — one relaxed
+    /// add per write, read by the telemetry publisher.
+    saves_total: AtomicU64,
+    /// Shard write-lock contention events: a writer found its shard lock
+    /// held and had to block. Always counted (a failed `try_write` is one
+    /// extra atomic on the already-slow contended path; the uncontended
+    /// path pays nothing beyond the acquisition it was doing anyway).
+    contention_total: AtomicU64,
 }
 
 impl Default for FeatureStore {
@@ -130,6 +138,8 @@ impl FeatureStore {
             poisoned_total: AtomicU64::new(0),
             journal: RwLock::new(None),
             journal_attached: AtomicBool::new(false),
+            saves_total: AtomicU64::new(0),
+            contention_total: AtomicU64::new(0),
         }
     }
 
@@ -151,6 +161,37 @@ impl FeatureStore {
         &self.shards[(hash_key(key) >> (64 - 4)) as usize & (SHARDS - 1)]
     }
 
+    /// Write-locks `key`'s shard, counting a contention event when the
+    /// fast non-blocking attempt loses to another holder.
+    fn shard_write(&self, key: &str) -> parking_lot::RwLockWriteGuard<'_, ShardMap> {
+        let shard = self.shard(key);
+        match shard.try_write() {
+            Some(guard) => guard,
+            None => {
+                self.contention_total.fetch_add(1, Ordering::Relaxed);
+                shard.write()
+            }
+        }
+    }
+
+    /// Whether writes to `key` should reach the write-ahead journal:
+    /// reserved `__telemetry/` keys are process-lifetime observations and
+    /// are never journaled (and thus never snapshotted or replayed).
+    #[inline]
+    fn journaled(&self, key: &str) -> bool {
+        self.journal_attached.load(Ordering::Acquire) && !crate::telemetry::is_reserved(key)
+    }
+
+    /// Accepted scalar writes (`save`/`incr`) so far.
+    pub fn saves_total(&self) -> u64 {
+        self.saves_total.load(Ordering::Relaxed)
+    }
+
+    /// Shard write-lock contention events so far.
+    pub fn contention_total(&self) -> u64 {
+        self.contention_total.load(Ordering::Relaxed)
+    }
+
     /// `SAVE(key, value)`: writes a scalar, replacing any existing entry.
     ///
     /// Non-finite values (`NaN`, `±inf`) are quarantined while quarantine is
@@ -163,12 +204,13 @@ impl FeatureStore {
             self.poisoned_total.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let mut guard = self.shard(key).write();
-        if self.journal_attached.load(Ordering::Acquire) {
+        let mut guard = self.shard_write(key);
+        if self.journaled(key) {
             if let Some(journal) = self.journal.read().as_ref() {
                 journal.record_save(key, value);
             }
         }
+        self.saves_total.fetch_add(1, Ordering::Relaxed);
         // Overwrite in place when the key exists — the steady-state path —
         // so repeated SAVEs to a hot key never re-allocate the key string.
         match guard.get_mut(key) {
@@ -221,7 +263,8 @@ impl FeatureStore {
     /// Atomically increments a scalar by `by` (creating it at 0), returning
     /// the new value.
     pub fn incr(&self, key: &str, by: f64) -> f64 {
-        let mut guard = self.shard(key).write();
+        let mut guard = self.shard_write(key);
+        self.saves_total.fetch_add(1, Ordering::Relaxed);
         // Look up without allocating; only a first-touch insert pays for
         // the key string. Counting into a structured entry replaces it;
         // mixed usage of one key is a spec bug, and scalar-wins keeps it
@@ -233,7 +276,7 @@ impl FeatureStore {
                 Entry::Scalar(v) => *v + by,
                 _ => by,
             };
-            if self.journal_attached.load(Ordering::Acquire) {
+            if self.journaled(key) {
                 if let Some(journal) = self.journal.read().as_ref() {
                     journal.record_save(key, new);
                 }
@@ -241,7 +284,7 @@ impl FeatureStore {
             *entry = Entry::Scalar(new);
             new
         } else {
-            if self.journal_attached.load(Ordering::Acquire) {
+            if self.journaled(key) {
                 if let Some(journal) = self.journal.read().as_ref() {
                     journal.record_save(key, by);
                 }
@@ -254,7 +297,7 @@ impl FeatureStore {
     /// `RECORD(key, value)`: appends a timestamped sample to a windowed
     /// series (creating it with the store's default bounds).
     pub fn record(&self, key: &str, now: Nanos, value: f64) {
-        let mut guard = self.shard(key).write();
+        let mut guard = self.shard_write(key);
         let retention = self.series_retention;
         let max = self.series_max_samples;
         let entry = guard
@@ -292,7 +335,7 @@ impl FeatureStore {
 
     /// Updates the EWMA at `key` with smoothing `alpha` (creating it).
     pub fn ewma_update(&self, key: &str, value: f64, alpha: f64) {
-        let mut guard = self.shard(key).write();
+        let mut guard = self.shard_write(key);
         let entry = guard
             .entry(key.to_string())
             .or_insert_with(|| Entry::Ewma(Ewma::new(alpha)));
@@ -317,7 +360,7 @@ impl FeatureStore {
 
     /// Records a value into the histogram at `key` (creating it).
     pub fn hist_observe(&self, key: &str, value: f64) {
-        let mut guard = self.shard(key).write();
+        let mut guard = self.shard_write(key);
         let entry = guard
             .entry(key.to_string())
             .or_insert_with(|| Entry::Histogram(Histogram::new()));

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use guardrails::action::Command;
 use guardrails::monitor::MonitorEngine;
 use guardrails::policy::{PolicyRegistry, VARIANT_FALLBACK, VARIANT_LEARNED};
+use guardrails::{Telemetry, TelemetrySnapshot};
 use simkernel::Nanos;
 
 use crate::policy::{HeuristicPlacement, LearnedPlacement, PageStats, Placement};
@@ -108,6 +109,8 @@ pub struct TieringReport {
     pub learned_active_at_end: bool,
     /// Whether a retrain completed.
     pub retrained: bool,
+    /// Deterministic engine telemetry counters for the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Nanoseconds of simulated time per access (drives the TIMER triggers).
@@ -132,6 +135,8 @@ pub fn run_tiering_sim(config: TieringSimConfig) -> TieringReport {
         Arc::new(guardrails::FeatureStore::new()),
         Arc::clone(&registry),
     );
+    let telemetry = Telemetry::new();
+    engine.set_telemetry(Arc::clone(&telemetry));
     if config.with_guardrails {
         engine.install_str(P3_GUARDRAIL).expect("P3 spec compiles");
         engine.install_str(P4_GUARDRAIL).expect("P4 spec compiles");
@@ -280,6 +285,7 @@ pub fn run_tiering_sim(config: TieringSimConfig) -> TieringReport {
         swaps: registry.swap_count("mem_policy"),
         learned_active_at_end: registry.is_active("mem_policy", VARIANT_LEARNED),
         retrained,
+        telemetry: telemetry.snapshot(),
     }
 }
 
@@ -366,5 +372,6 @@ mod tests {
         let b = run(MemPolicyKind::Learned, true);
         assert_eq!(a.phase2_hit_rate, b.phase2_hit_rate);
         assert_eq!(a.invalid_allocs, b.invalid_allocs);
+        assert_eq!(a.telemetry, b.telemetry, "telemetry counters determinize");
     }
 }

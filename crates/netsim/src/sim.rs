@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use guardrails::monitor::MonitorEngine;
 use guardrails::policy::{PolicyRegistry, VARIANT_FALLBACK, VARIANT_LEARNED};
+use guardrails::{Telemetry, TelemetrySnapshot};
 
 use crate::classic::Cubic;
 use crate::learned::LearnedCc;
@@ -93,6 +94,8 @@ pub struct CcReport {
     pub learned_active_at_end: bool,
     /// `(seconds, utilization)` series for plotting.
     pub series: Vec<(f64, f64)>,
+    /// Deterministic engine telemetry counters for the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Runs the scenario.
@@ -114,6 +117,8 @@ pub fn run_cc_sim(config: CcSimConfig) -> CcReport {
         Arc::new(guardrails::FeatureStore::new()),
         Arc::clone(&registry),
     );
+    let telemetry = Telemetry::new();
+    engine.set_telemetry(Arc::clone(&telemetry));
     let store = engine.store();
 
     let mut link = Link::new(config.link, config.seed);
@@ -208,6 +213,7 @@ pub fn run_cc_sim(config: CcSimConfig) -> CcReport {
         violations: engine.violations().len(),
         learned_active_at_end: registry.is_active("cc_policy", VARIANT_LEARNED),
         series,
+        telemetry: telemetry.snapshot(),
     }
 }
 
@@ -277,5 +283,6 @@ mod tests {
         let b = run(CcPolicyKind::Learned, true);
         assert_eq!(a.noisy_tail_utilization, b.noisy_tail_utilization);
         assert_eq!(a.violations, b.violations);
+        assert_eq!(a.telemetry, b.telemetry, "telemetry counters determinize");
     }
 }

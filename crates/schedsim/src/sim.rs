@@ -1,8 +1,11 @@
 //! The scheduling simulation: starvation under a learned scheduler, and the
 //! P6 guardrail that bounds it with `DEPRIORITIZE`.
 
+use std::sync::Arc;
+
 use guardrails::action::Command;
 use guardrails::monitor::MonitorEngine;
+use guardrails::{Telemetry, TelemetrySnapshot};
 use simkernel::{JainIndex, Nanos, Priority, TaskId};
 
 use crate::cfs::CfsScheduler;
@@ -110,6 +113,8 @@ pub struct SchedReport {
     pub violations: usize,
     /// `DEPRIORITIZE` commands applied.
     pub commands_applied: usize,
+    /// Deterministic engine telemetry counters for the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Runs the scheduling scenario and reports.
@@ -119,6 +124,8 @@ pub struct SchedReport {
 /// Panics if the built-in guardrail spec fails to compile (a crate bug).
 pub fn run_sched_sim(config: SchedSimConfig) -> SchedReport {
     let mut engine = MonitorEngine::new();
+    let telemetry = Telemetry::new();
+    engine.set_telemetry(Arc::clone(&telemetry));
     if config.with_guardrail {
         engine.install_str(P6_GUARDRAIL).expect("P6 spec compiles");
     }
@@ -292,6 +299,7 @@ pub fn run_sched_sim(config: SchedSimConfig) -> SchedReport {
         jain: JainIndex::of(&shares),
         violations: engine.violations().len(),
         commands_applied,
+        telemetry: telemetry.snapshot(),
     }
 }
 
@@ -368,5 +376,6 @@ mod tests {
         let b = run_sched_sim(SchedSimConfig::default());
         assert_eq!(a.batch_max_wait, b.batch_max_wait);
         assert_eq!(a.jain, b.jain);
+        assert_eq!(a.telemetry, b.telemetry, "telemetry counters determinize");
     }
 }

@@ -17,6 +17,7 @@
 //!    moving average recovers. Without the guardrail it stays degraded.
 
 use guardrails::monitor::MonitorEngine;
+use guardrails::{Telemetry, TelemetrySnapshot};
 use simkernel::{MovingAverage, Nanos};
 
 use crate::array::{ArrayStats, FlashArray};
@@ -154,6 +155,8 @@ pub struct SimReport {
     pub violations: usize,
     /// Whether the learned policy was still enabled at the end.
     pub ml_enabled_at_end: bool,
+    /// Deterministic engine telemetry counters for the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// The Figure 2 simulator.
@@ -174,6 +177,7 @@ impl LinnosSim {
     /// that would be a bug in this crate.
     pub fn new(config: LinnosSimConfig) -> Self {
         let mut engine = MonitorEngine::new();
+        engine.set_telemetry(Telemetry::new());
         if config.with_guardrail {
             engine
                 .install_str(LISTING_2_SPEC)
@@ -284,6 +288,11 @@ impl LinnosSim {
             shifted: shifted_stats,
             violations: violations.len(),
             ml_enabled_at_end: store.flag("ml_enabled"),
+            telemetry: self
+                .engine
+                .telemetry()
+                .map(|t| t.snapshot())
+                .unwrap_or_default(),
         }
     }
 }
@@ -349,6 +358,11 @@ mod tests {
             !guarded.ml_enabled_at_end,
             "model disabled by the guardrail"
         );
+        assert!(
+            guarded.telemetry.evaluations > 0,
+            "telemetry follows the run"
+        );
+        assert!(guarded.telemetry.violations as usize >= guarded.violations);
         assert!(unguarded.ml_enabled_at_end);
         assert_eq!(unguarded.violations, 0);
         // The unguarded run's post-shift false submits stay high.
